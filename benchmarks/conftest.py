@@ -1,0 +1,33 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and writes
+the rendered output to ``benchmarks/results/``, so running
+
+    pytest benchmarks/ --benchmark-only
+
+both times the pipeline and leaves the reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """``save_result(name, text)`` writes one reproduced table/figure."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,166 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* pattern-aware vs pattern-oblivious (ViTAL-style) partitioning — the
+  Table 4 overhead gap;
+* floorplanning on/off — the Section 4.2 methodology choice;
+* best-fit vs worst-fit placement — packing quality of the runtime policy;
+* scale-down-and-replicate vs naive split (exposed communication).
+"""
+
+import copy
+
+from repro.accel import BW_V37, CycleModel
+from repro.accel.timing import VirtualizationContext
+from repro.cluster import ClusterSimulator, paper_cluster
+from repro.experiments import run_fig11
+from repro.resources import ResourceVector
+from repro.runtime import Catalog, build_system
+from repro.runtime.controller import PlacementPolicy
+from repro.units import us
+from repro.vital import VitalCompiler, XCVU37P
+from repro.vital.floorplan import FloorplanQuality, achieved_frequency
+from repro.workloads import TABLE1_COMPOSITIONS, generate_workload
+from repro.workloads.deepbench import ModelSpec
+
+
+def test_pattern_aware_partitioning_overhead(benchmark, save_result):
+    """Pattern-aware partitioning keeps the virtualization overhead in the
+    3-9% band; the naive partitioner pays several times more."""
+    specs = [ModelSpec("gru", 1024, 100), ModelSpec("lstm", 1024, 25)]
+    model = CycleModel(BW_V37)
+
+    def measure():
+        rows = []
+        for spec in specs:
+            program = spec.program()
+            aware = model.overhead_vs_baseline(
+                program, VirtualizationContext(14, pattern_aware=True)
+            )
+            naive = model.overhead_vs_baseline(
+                program, VirtualizationContext(14, pattern_aware=False)
+            )
+            rows.append((spec.key, aware, naive))
+        return rows
+
+    rows = benchmark(measure)
+    lines = ["Ablation: pattern-aware vs naive partitioning", ""]
+    for key, aware, naive in rows:
+        assert naive > 1.5 * aware
+        assert aware < 0.10
+        lines.append(
+            f"{key}: overhead {aware * 100:.1f}% (pattern-aware) vs "
+            f"{naive * 100:.1f}% (naive)"
+        )
+    save_result("ablation_pattern_aware", "\n".join(lines))
+
+
+def test_floorplanning_frequency_gain(benchmark, save_result):
+    """Floorplanning recovers the clock the congested automatic placement
+    loses (Fig. 10's methodology)."""
+    demand = ResourceVector(luts=610e3, ffs=659e3, dsps=7500.0)
+
+    def measure():
+        auto = achieved_frequency(XCVU37P, demand, FloorplanQuality.AUTOMATIC)
+        planned = achieved_frequency(
+            XCVU37P, demand, FloorplanQuality.FLOORPLANNED
+        )
+        return auto, planned
+
+    auto, planned = benchmark(measure)
+    assert planned > auto
+    gain = planned / auto - 1.0
+    save_result(
+        "ablation_floorplanning",
+        "Ablation: floorplanning\n\n"
+        f"automatic placement: {auto / 1e6:.0f} MHz\n"
+        f"floorplanned:        {planned / 1e6:.0f} MHz\n"
+        f"gain:                {gain * 100:.1f}%",
+    )
+
+
+def test_placement_policy_packing(benchmark, save_result):
+    """Best-fit packing sustains higher throughput than worst-fit spreading
+    on a small-task mix (more co-resident deployments)."""
+    tasks = generate_workload(
+        TABLE1_COMPOSITIONS[0], 120, arrival_rate_per_s=1e5, seed=11
+    )
+
+    def run_policy(policy):
+        catalog = Catalog(VitalCompiler())
+        system = build_system("proposed", paper_cluster(), catalog)
+        system.controller.placement = policy
+        return ClusterSimulator(system, policy.value).run(
+            [copy.deepcopy(t) for t in tasks]
+        )
+
+    def measure():
+        best = run_policy(PlacementPolicy.BEST_FIT).throughput
+        worst = run_policy(PlacementPolicy.WORST_FIT).throughput
+        return best, worst
+
+    best, worst = benchmark(measure)
+    save_result(
+        "ablation_placement_policy",
+        "Ablation: placement policy on 100% S\n\n"
+        f"best-fit:  {best:.1f} tasks/s\n"
+        f"worst-fit: {worst:.1f} tasks/s",
+    )
+    assert best >= 0.8 * worst  # packing should not be catastrophically worse
+
+
+def test_scale_down_vs_naive_split(benchmark, save_result):
+    """Scale-down + reordered communication vs the baseline's manual split
+    (no overlap): at the paper's 0.6 us added latency, the optimised
+    deployment absorbs what the naive one exposes."""
+    sweep = (0.0, us(0.6))
+
+    def measure():
+        optimised = run_fig11(sweep=sweep, reorder=True)
+        naive = run_fig11(sweep=sweep, reorder=False)
+        return optimised, naive
+
+    optimised, naive = benchmark(measure)
+    lines = ["Ablation: scale-down overlap vs naive split (at +0.6us)", ""]
+    for good, bad in zip(optimised, naive):
+        assert bad.latency_s[1] >= good.latency_s[1]
+        lines.append(
+            f"{good.model.key}: {good.latency_s[1] * 1e3:.4g} ms vs "
+            f"{bad.latency_s[1] * 1e3:.4g} ms"
+        )
+    save_result("ablation_scale_down", "\n".join(lines))
+
+
+def test_greedy_plan_order(benchmark, save_result):
+    """The paper's greedy fewest-FPGAs-first policy vs a widest-first
+    ablation: minimising allocated FPGAs minimises inter-FPGA communication
+    (Section 2.3's policy argument)."""
+    from repro.cluster import ClusterSimulator
+    from repro.runtime.controller import PlanOrder
+    from repro.workloads import generate_workload
+
+    tasks = generate_workload(
+        TABLE1_COMPOSITIONS[1], 100, arrival_rate_per_s=1e5, seed=5
+    )
+
+    def run_order(order):
+        catalog = Catalog(VitalCompiler())
+        system = build_system("proposed", paper_cluster(), catalog)
+        system.controller.plan_order = order
+        return ClusterSimulator(system, order.value).run(
+            [copy.deepcopy(t) for t in tasks]
+        ).throughput
+
+    def measure():
+        return (
+            run_order(PlanOrder.FEWEST_FPGAS),
+            run_order(PlanOrder.WIDEST_FIRST),
+        )
+
+    fewest, widest = benchmark(measure)
+    save_result(
+        "ablation_plan_order",
+        "Ablation: runtime plan order on 100% M\n\n"
+        f"fewest-FPGAs first (paper's greedy): {fewest:.1f} tasks/s\n"
+        f"widest first:                        {widest:.1f} tasks/s",
+    )
+    assert fewest > widest

@@ -1,0 +1,49 @@
+"""Benchmark regenerating Fig. 11: inference latency vs added inter-FPGA
+communication latency on a two-FPGA scale-out deployment, plus the
+instruction-reordering ablation."""
+
+import numpy as np
+
+from repro.experiments import run_fig11
+from repro.experiments.fig11 import render
+from repro.units import us
+
+
+def test_fig11(benchmark, save_result):
+    curves = benchmark(run_fig11)
+    save_result("fig11", render(curves))
+
+    lstm, gru_small, gru_large = curves
+    # Paper shape: LSTM fully hidden over the sweep; small GRU hidden up to
+    # ~0.6 us; large GRU exposed almost immediately.
+    assert lstm.hideable_added_latency_s > us(0.8)
+    assert us(0.35) < gru_small.hideable_added_latency_s < us(0.85)
+    assert gru_large.hideable_added_latency_s < us(0.3)
+
+    # The LSTM curve is flat across the paper's sweep range.
+    lstm_rise = lstm.latency_s[-1] / lstm.latency_s[0] - 1.0
+    assert lstm_rise < 0.05
+    # The large GRU's curve rises.
+    large_rise = gru_large.latency_s[-1] / gru_large.latency_s[0] - 1.0
+    assert large_rise > 0.05
+
+
+def test_fig11_reordering_ablation(benchmark, save_result):
+    """Without the reordering tool the overlap window vanishes and every
+    curve pays the full transfer from zero added latency."""
+    sweep = tuple(us(x) for x in np.linspace(0.0, 1.2, 7))
+
+    def run_ablation():
+        return run_fig11(sweep=sweep), run_fig11(sweep=sweep, reorder=False)
+
+    with_tool, without_tool = benchmark(run_ablation)
+    lines = ["Fig. 11 ablation: instruction reordering on/off", ""]
+    for curve_on, curve_off in zip(with_tool, without_tool):
+        assert curve_off.overlap_window_s == 0.0
+        assert curve_off.latency_s[0] >= curve_on.latency_s[0]
+        lines.append(
+            f"{curve_on.model.key}: latency at +0us "
+            f"{curve_on.latency_s[0] * 1e3:.4g} ms (reordered) vs "
+            f"{curve_off.latency_s[0] * 1e3:.4g} ms (not reordered)"
+        )
+    save_result("fig11_ablation_reorder", "\n".join(lines))

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Section 4.4's performance-isolation result."""
+
+from repro.experiments import run_isolation
+from repro.experiments.isolation import render
+
+
+def test_isolation(benchmark, save_result):
+    rows = benchmark(run_isolation)
+    save_result("isolation", render(rows))
+
+    for row in rows:
+        # Premise: whole machine codes fit the instruction buffer.
+        assert row.code_fits_buffer
+        # Claim: sharing-environment latency comparable to non-sharing.
+        assert row.sharing_penalty < 0.03
+        # Ablation: without the buffer, contention bites hard.
+        assert row.sharing_penalty_no_buffer > 0.10
+        assert row.sharing_penalty_no_buffer > 5 * row.sharing_penalty

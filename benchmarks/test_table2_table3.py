@@ -1,0 +1,29 @@
+"""Benchmarks regenerating Table 2 (baseline accelerator implementations)
+and Table 3 (per-virtual-block implementation results)."""
+
+from repro.experiments import run_table2, run_table3
+from repro.experiments.table2 import render as render_table2
+from repro.experiments.table3 import render as render_table3
+
+
+def test_table2(benchmark, save_result):
+    rows = benchmark(run_table2)
+    save_result("table2", render_table2(rows))
+    # Shape assertions: calibration holds and V37 is the bigger instance.
+    v37, k115 = rows
+    assert v37.resources.luts > k115.resources.luts
+    assert v37.peak_tflops > k115.peak_tflops
+    for row in rows:
+        assert abs(row.rel_error("dsps")) < 0.20
+        assert abs(row.rel_error("tflops")) < 0.10
+
+
+def test_table3(benchmark, save_result):
+    rows = benchmark(run_table3)
+    save_result("table3", render_table3(rows))
+    v37, k115 = rows
+    # The whole instance fits the device's virtual-block grid.
+    assert v37.virtual_blocks <= 16
+    assert k115.virtual_blocks <= 10
+    # Per-block numbers track the paper within the calibration band.
+    assert abs(v37.per_block.dsps / v37.paper["dsps"] - 1.0) < 0.20

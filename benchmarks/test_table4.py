@@ -1,0 +1,28 @@
+"""Benchmark regenerating Table 4: single-FPGA inference latency of the
+seven DeepBench configurations, baseline vs virtualized, on both devices."""
+
+from repro.experiments import run_table4
+from repro.experiments.table4 import render
+
+
+def test_table4(benchmark, save_result):
+    rows = benchmark(run_table4)
+    save_result("table4", render(rows))
+
+    fitting = [row for row in rows if row.fits]
+    # Paper's headline: marginal virtualization overhead (3.8-8.4%).
+    overheads = [row.overhead for row in fitting]
+    assert min(overheads) >= 0.02
+    assert max(overheads) <= 0.10
+
+    # The KU115 dash for LSTM h=1536 reproduces.
+    dashes = [(r.model.key, r.device) for r in rows if not r.fits]
+    assert dashes == [("lstm-h1536-t50", "XCKU115")]
+
+    # Ordering: every model is slower on the KU115 than the VU37P.
+    by_model = {}
+    for row in fitting:
+        by_model.setdefault(row.model.key, {})[row.device] = row.baseline_s
+    for devices in by_model.values():
+        if len(devices) == 2:
+            assert devices["XCKU115"] > devices["XCVU37P"]

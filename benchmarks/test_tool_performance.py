@@ -1,0 +1,52 @@
+"""Benchmarks of the offline tools themselves: decomposition, partitioning
+and ViTAL compilation wall-clock on the full-size accelerator — the numbers
+behind Section 4.3's "negligible" claim — plus the functional simulator."""
+
+import numpy as np
+
+from repro.accel import BW_V37, CONTROL_MODULES, generate_accelerator
+from repro.accel.codegen import GRUCodegen, RNNWeights, OUT_BASE
+from repro.accel.functional import run_program
+from repro.core import decompose, partition
+from repro.vital import VitalCompiler
+
+
+def test_generate_full_accelerator(benchmark):
+    design = benchmark(generate_accelerator, BW_V37)
+    assert design.has_module("top")
+
+
+def test_decompose_full_accelerator(benchmark):
+    design = generate_accelerator(BW_V37)
+    result = benchmark(decompose, design, CONTROL_MODULES)
+    assert len(result.data_root.children) == 21
+
+
+def test_partition_full_accelerator(benchmark):
+    decomposed = decompose(generate_accelerator(BW_V37), CONTROL_MODULES)
+    tree = benchmark(partition, decomposed, 2)
+    assert tree.max_ways() == 4
+
+
+def test_vital_compile_full_accelerator(benchmark):
+    decomposed = decompose(generate_accelerator(BW_V37), CONTROL_MODULES)
+    tree = partition(decomposed, iterations=2)
+
+    def compile_once():
+        return VitalCompiler().compile_accelerator(decomposed, tree)
+
+    compiled = benchmark(compile_once)
+    assert compiled.mapping.options
+
+
+def test_functional_simulator_gru(benchmark):
+    weights = RNNWeights.random("gru", 64, seed=0)
+    xs = np.random.default_rng(1).normal(0, 0.5, (8, 64))
+    gen = GRUCodegen(weights, 8)
+    program = gen.build()
+
+    def run_once():
+        return run_program(program, preload=lambda s: gen.preload(s, xs))
+
+    sim = benchmark(run_once)
+    assert sim.dram.read(OUT_BASE, 64).size == 64

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""System-level example: serving a mixed cloud workload (Fig. 12 in small).
+
+Builds the paper's heterogeneous cluster (3x XCVU37P + 1x XCKU115), streams
+one Table-1 workload mix through the three systems under comparison, and
+reports aggregated throughput plus what actually happened on the cluster
+(deployments, sharing, reuse).
+
+Run:  python examples/cloud_scheduling.py
+"""
+
+import copy
+
+from repro.cluster import ClusterSimulator, paper_cluster
+from repro.runtime import Catalog, build_system
+from repro.vital import VitalCompiler
+from repro.workloads import TABLE1_COMPOSITIONS, generate_workload
+
+COMPOSITION = TABLE1_COMPOSITIONS[6]  # 33% S + 33% M + 34% L
+TASKS = 120
+
+
+def main() -> None:
+    tasks = generate_workload(
+        COMPOSITION, task_count=TASKS, arrival_rate_per_s=1e5, seed=17
+    )
+    print(
+        f"workload set {COMPOSITION.index}: {COMPOSITION.describe()}, "
+        f"{len(tasks)} tasks\n"
+    )
+
+    results = {}
+    systems = {}
+    for name in ("baseline", "restricted", "proposed"):
+        cluster = paper_cluster()
+        catalog = Catalog(VitalCompiler())
+        system = build_system(name, cluster, catalog)
+        result = ClusterSimulator(system, name).run(
+            [copy.deepcopy(task) for task in tasks]
+        )
+        results[name] = result
+        systems[name] = system
+        print(
+            f"{name:11s} throughput {result.throughput:8.1f} tasks/s, "
+            f"mean latency {result.mean_latency() * 1e3:8.2f} ms"
+        )
+
+    base = results["baseline"].throughput
+    print(
+        f"\nproposed vs baseline:   "
+        f"{results['proposed'].throughput / base:.2f}x"
+    )
+    print(
+        f"proposed vs restricted: "
+        f"{results['proposed'].throughput / results['restricted'].throughput:.2f}x"
+    )
+
+    controller = systems["proposed"].controller
+    print("\nproposed system's final cluster state:")
+    for deployment in controller.deployments.values():
+        placements = ", ".join(
+            f"{p.fpga_id}[{p.virtual_blocks} blocks]"
+            for p in deployment.placements
+        )
+        print(
+            f"  {deployment.model_key:18s} on {placements} "
+            f"({deployment.tasks_served} tasks served)"
+        )
+    stats = controller.stats
+    print(
+        f"\ncontroller stats: {stats.deployments_created} deployments "
+        f"created, {stats.deployments_evicted} evicted, "
+        f"{stats.reuse_hits} reuse hits"
+    )
+
+
+if __name__ == "__main__":
+    main()

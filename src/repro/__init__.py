@@ -1,0 +1,65 @@
+"""repro — a multi-layer virtualization framework for heterogeneous cloud
+FPGAs.
+
+A faithful, simulation-backed reproduction of Zha & Li, *"When
+Application-Specific ISA Meets FPGAs"* (ASPLOS 2021).  The package layers:
+
+* :mod:`repro.rtl`      — structural RTL IR (the decomposition substrate)
+* :mod:`repro.isa`      — the BrainWave-like application-specific ISA
+* :mod:`repro.accel`    — the parameterised accelerator: generator,
+  functional simulator, cycle-level timing model
+* :mod:`repro.core`     — **the paper's contribution**: the soft-block
+  system abstraction, decomposing and partitioning tools
+* :mod:`repro.vital`    — the ViTAL-like hardware-specific abstraction
+* :mod:`repro.cluster`  — the heterogeneous FPGA cluster simulator
+* :mod:`repro.runtime`  — the runtime management system
+* :mod:`repro.perf`     — latency/overlap/throughput models
+* :mod:`repro.workloads`— DeepBench models and Table-1 synthetic mixes
+* :mod:`repro.experiments` — drivers for every table and figure
+
+Quickstart::
+
+    from repro import accel, core
+
+    design = accel.generate_accelerator(accel.BW_V37)
+    decomposed = core.decompose(design, accel.CONTROL_MODULES)
+    tree = core.partition(decomposed, iterations=2)
+    print(core.render_tree(decomposed.data_root, max_depth=2))
+"""
+
+from . import (
+    accel,
+    cluster,
+    core,
+    errors,
+    isa,
+    perf,
+    resources,
+    rtl,
+    runtime,
+    units,
+    vital,
+    workloads,
+)
+from .errors import ReproError
+from .resources import ResourceVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ResourceVector",
+    "__version__",
+    "accel",
+    "cluster",
+    "core",
+    "errors",
+    "isa",
+    "perf",
+    "resources",
+    "rtl",
+    "runtime",
+    "units",
+    "vital",
+    "workloads",
+]

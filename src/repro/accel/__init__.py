@@ -1,0 +1,40 @@
+"""The BrainWave-like AS ISA accelerator (paper Section 3).
+
+A parameterised soft NPU: ``tiles`` SIMD compute lanes (matrix-vector tile
+engines in block floating point, per-lane accumulation and float16
+multi-function units), a shared control path (instruction decoder +
+instruction buffer, FP16-to-BFP converter, vector register file, DRAM
+interface), and a parameterised weight memory that uses BRAM and/or URAM
+depending on the target FPGA.
+
+* :mod:`~repro.accel.config`     — accelerator instance parameters.
+* :mod:`~repro.accel.memory`     — the parameterised memory module.
+* :mod:`~repro.accel.generator`  — builds the structural RTL design.
+* :mod:`~repro.accel.codegen`    — emits LSTM/GRU ISA programs.
+* :mod:`~repro.accel.functional` — executes ISA programs (numpy + BFP).
+* :mod:`~repro.accel.timing`     — the cycle-level latency model.
+"""
+
+from .config import AcceleratorConfig, MemoryPlan, BW_V37, BW_K115, scaled_config
+from .generator import generate_accelerator, CONTROL_MODULES
+from .codegen import GRUCodegen, LSTMCodegen, RNNWeights
+from .functional import FunctionalSimulator, ScaleOutFabric, run_program
+from .timing import CycleModel, TimingParameters
+
+__all__ = [
+    "AcceleratorConfig",
+    "BW_K115",
+    "BW_V37",
+    "CONTROL_MODULES",
+    "CycleModel",
+    "FunctionalSimulator",
+    "GRUCodegen",
+    "LSTMCodegen",
+    "MemoryPlan",
+    "RNNWeights",
+    "ScaleOutFabric",
+    "TimingParameters",
+    "generate_accelerator",
+    "run_program",
+    "scaled_config",
+]

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``inventory``         — the system/substrate inventory.
+* ``decompose``         — generate an instance and print its soft-block tree.
+* ``partition``         — print the partition tree and frontiers.
+* ``assemble``          — assemble an ISA source file to binary.
+* ``disassemble``       — decode a binary back to assembly.
+* ``table2 .. fig12``   — regenerate one table/figure.
+* ``isolation``         — Section 4.4's sharing-isolation result.
+* ``compile-overhead``  — Section 4.3's compile-cost accounting.
+* ``all``               — regenerate everything (what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Multi-layer virtualization framework for heterogeneous cloud "
+            "FPGAs (ASPLOS'21 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory", help="package/system inventory")
+
+    for name, needs_tiles in (("decompose", True), ("partition", True)):
+        p = sub.add_parser(name, help=f"{name} an accelerator instance")
+        p.add_argument("--tiles", type=int, default=8,
+                       help="tile engines in the instance (default 8)")
+        p.add_argument("--device", default="XCVU37P",
+                       choices=["XCVU37P", "XCKU115"])
+        if name == "partition":
+            p.add_argument("--iterations", type=int, default=2)
+        else:
+            p.add_argument("--depth", type=int, default=3,
+                           help="tree rendering depth")
+
+    p = sub.add_parser("assemble", help="assemble ISA source to binary")
+    p.add_argument("source", help="assembly source file")
+    p.add_argument("output", help="binary output file")
+
+    p = sub.add_parser("disassemble", help="decode an ISA binary")
+    p.add_argument("binary", help="binary input file")
+
+    for name in ("table2", "table3", "table4", "fig11", "fig12",
+                 "compile-overhead", "isolation", "all"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        if name in ("fig12", "all"):
+            p.add_argument("--tasks", type=int, default=150)
+            p.add_argument("--seeds", type=int, default=1,
+                           help="seeds to average over")
+    return parser
+
+
+def _instance(args):
+    from .accel.config import BW_K115, BW_V37
+
+    base = BW_V37 if args.device == "XCVU37P" else BW_K115
+    return base.with_tiles(args.tiles, name=f"cli-{args.tiles}t")
+
+
+def _cmd_inventory(_args, out) -> int:
+    from .accel import BW_K115, BW_V37
+    from .vital.device import DEVICE_TYPES
+
+    print(f"repro {__version__}", file=out)
+    print("\naccelerator instances:", file=out)
+    for config in (BW_V37, BW_K115):
+        print(
+            f"  {config.name}: {config.tiles} tiles, "
+            f"{config.peak_flops / 1e12:.1f} TFLOPS peak",
+            file=out,
+        )
+    print("\ndevice types:", file=out)
+    for device in DEVICE_TYPES.values():
+        print(
+            f"  {device.name}: {device.usable_blocks} virtual blocks, "
+            f"{device.frequency_hz / 1e6:.0f} MHz",
+            file=out,
+        )
+    print("\nexperiments: table2 table3 table4 fig11 fig12 "
+          "compile-overhead isolation", file=out)
+    return 0
+
+
+def _cmd_decompose(args, out) -> int:
+    from .accel import CONTROL_MODULES, generate_accelerator
+    from .core import decompose, render_tree
+
+    decomposed = decompose(
+        generate_accelerator(_instance(args)), CONTROL_MODULES
+    )
+    print(render_tree(decomposed.data_root, max_depth=args.depth), file=out)
+    print(
+        f"\nroot pattern: {decomposed.root_pattern.value}; "
+        f"scale-down applicable: {decomposed.supports_scale_down()}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_partition(args, out) -> int:
+    from .accel import CONTROL_MODULES, generate_accelerator
+    from .core import decompose, partition
+    from .core.visualize import render_partition
+
+    decomposed = decompose(
+        generate_accelerator(_instance(args)), CONTROL_MODULES
+    )
+    tree = partition(decomposed, iterations=args.iterations)
+    print(render_partition(tree), file=out)
+    print(f"\nfrontier sizes: {[len(f) for f in tree.frontiers()]}", file=out)
+    return 0
+
+
+def _cmd_assemble(args, out) -> int:
+    from pathlib import Path
+
+    from .isa import assemble, encode_program
+
+    source = Path(args.source).read_text()
+    program = assemble(source, name=Path(args.source).stem)
+    blob = encode_program(program)
+    Path(args.output).write_bytes(blob)
+    print(
+        f"{len(program)} instructions -> {len(blob)} bytes "
+        f"({args.output})",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_disassemble(args, out) -> int:
+    from pathlib import Path
+
+    from .isa import decode_program, disassemble
+
+    program = decode_program(
+        Path(args.binary).read_bytes(), name=Path(args.binary).stem
+    )
+    print(disassemble(program), file=out)
+    return 0
+
+
+def _run_experiment(name: str, args, out) -> int:
+    from . import experiments
+    from .experiments import (
+        compile_overhead,
+        fig11,
+        fig12,
+        isolation,
+        table2,
+        table3,
+        table4,
+    )
+
+    if name == "table2":
+        print(table2.render(experiments.run_table2()), file=out)
+    elif name == "table3":
+        print(table3.render(experiments.run_table3()), file=out)
+    elif name == "table4":
+        print(table4.render(experiments.run_table4()), file=out)
+    elif name == "fig11":
+        print(fig11.render(experiments.run_fig11()), file=out)
+    elif name == "fig12":
+        seeds = tuple(range(1, getattr(args, "seeds", 1) + 1))
+        rows = experiments.run_fig12(
+            task_count=getattr(args, "tasks", 150), seeds=seeds
+        )
+        print(fig12.render(rows), file=out)
+    elif name == "compile-overhead":
+        print(compile_overhead.render(experiments.run_compile_overhead()),
+              file=out)
+    elif name == "isolation":
+        print(isolation.render(experiments.run_isolation()), file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "inventory":
+        return _cmd_inventory(args, out)
+    if command == "decompose":
+        return _cmd_decompose(args, out)
+    if command == "partition":
+        return _cmd_partition(args, out)
+    if command == "assemble":
+        return _cmd_assemble(args, out)
+    if command == "disassemble":
+        return _cmd_disassemble(args, out)
+    if command == "all":
+        for name in ("table2", "table3", "table4", "fig11", "fig12",
+                     "compile-overhead", "isolation"):
+            print(f"\n=== {name} ===\n", file=out)
+            _run_experiment(name, args, out)
+        return 0
+    return _run_experiment(command, args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""A deterministic discrete-event queue.
+
+Ties are broken by insertion order, so simulations are reproducible
+independent of callback identity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+class EventQueue:
+    """Min-heap of timed callbacks."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, when: float, callback: Callable, *args) -> None:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self.now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._sequence), callback, args))
+
+    def schedule_in(self, delay: float, callback: Callable, *args) -> None:
+        """Schedule relative to the current time."""
+        self.schedule(self.now + delay, callback, *args)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._heap)
+        self.now = when
+        callback(*args)
+        self.processed += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally up to time ``until``); returns the
+        final simulation time."""
+        for _ in range(max_events):
+            if not self._heap:
+                return self.now
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        raise SimulationError(f"exceeded {max_events} events — runaway simulation?")

@@ -1,0 +1,207 @@
+"""Discrete-event cluster simulator.
+
+Drives the Fig. 12 system evaluation: a stream of inference tasks arrives,
+a *scheduler* (one of the three systems under comparison — proposed,
+restricted-policy, AS-ISA baseline) places each task on the cluster, tasks
+occupy resources for their service time, and aggregate throughput is
+measured as completed tasks per second of makespan.
+
+The simulator is system-agnostic: schedulers implement the small
+:class:`Scheduler` protocol.  Pending tasks queue FIFO per model so results
+are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..errors import SimulationError
+from .events import EventQueue
+
+
+@dataclass
+class Task:
+    """One inference task.
+
+    ``model_key`` identifies the benchmark model (e.g. ``"gru-h1536-t375"``);
+    the scheduler resolves it against its catalog.
+    """
+
+    task_id: int
+    model_key: str
+    arrival_s: float
+    size_class: str = ""
+    start_s: float = -1.0
+    finish_s: float = -1.0
+
+    @property
+    def latency_s(self) -> float:
+        """Queueing + service latency (valid after completion)."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+class Scheduler(Protocol):
+    """What a system-under-test must implement."""
+
+    def try_start(self, task: Task, now: float) -> float | None:
+        """Attempt to start ``task``; returns its service time in seconds,
+        or ``None`` when resources are currently unavailable."""
+
+    def on_finish(self, task: Task, now: float) -> None:
+        """Release whatever ``try_start`` reserved."""
+
+    def has_fast_path(self, task: Task) -> bool:  # pragma: no cover - optional
+        """Optional: True when ``task`` can start without reconfiguration
+        (an idle deployment of its model is resident).  The simulator serves
+        fast-path tasks first to preserve locality."""
+        ...
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one run."""
+
+    system: str
+    completed: list = field(default_factory=list)
+    makespan_s: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per second (the Fig. 12 metric)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return len(self.completed) / self.makespan_s
+
+    def mean_latency(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(t.latency_s for t in self.completed) / len(self.completed)
+
+    def per_class_counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for task in self.completed:
+            counts[task.size_class] = counts.get(task.size_class, 0) + 1
+        return counts
+
+
+class ClusterSimulator:
+    """Runs one task stream against one scheduler."""
+
+    #: Re-dispatch interval while tasks wait on time-gated policies
+    #: (eviction staleness windows).
+    RETRY_INTERVAL_S = 0.005
+    #: Consecutive fruitless retries with nothing running => deadlock.
+    MAX_IDLE_RETRIES = 64
+
+    def __init__(self, scheduler: Scheduler, system_name: str = "system"):
+        self.scheduler = scheduler
+        self.system_name = system_name
+        self.queue = EventQueue()
+        self._pending: list[Task] = []
+        self._result = SimulationResult(system=system_name)
+        self._dispatching = False
+        self._running_count = 0
+        self._retry_scheduled = False
+        self._idle_retries = 0
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _arrive(self, task: Task) -> None:
+        self._pending.append(task)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Start every pending task the scheduler can place right now.
+
+        Head-of-line blocking is intentional *per model class only*: we scan
+        the whole queue so a small task can slip past a blocked large one
+        (all three evaluated systems admit out-of-order placement), but
+        tasks of the same model stay FIFO because the scan preserves order.
+        """
+        if self._dispatching:
+            return  # avoid re-entrant scans from nested on_finish calls
+        self._dispatching = True
+        fast_path = getattr(self.scheduler, "has_fast_path", None)
+        observe = getattr(self.scheduler, "observe_queue", None)
+        try:
+            progress = True
+            while progress:
+                progress = False
+                if observe is not None:
+                    # Give the scheduler a view of queue pressure per model
+                    # (admission/expansion decisions need it).
+                    counts: dict = {}
+                    for pending_task in self._pending:
+                        counts[pending_task.model_key] = (
+                            counts.get(pending_task.model_key, 0) + 1
+                        )
+                    observe(counts)
+                scan = list(self._pending)
+                if fast_path is not None:
+                    # Locality pass: tasks whose model is already resident
+                    # start first, so a cold task never evicts a hot model
+                    # out from under its queued work.
+                    scan.sort(key=lambda t: (not fast_path(t), t.arrival_s))
+                for task in scan:
+                    service = self.scheduler.try_start(task, self.queue.now)
+                    if service is None:
+                        continue
+                    if service < 0:
+                        raise SimulationError(
+                            f"scheduler returned negative service time {service}"
+                        )
+                    self._pending.remove(task)
+                    task.start_s = self.queue.now
+                    self._running_count += 1
+                    self.queue.schedule_in(service, self._finish, task)
+                    progress = True
+                    self._idle_retries = 0
+        finally:
+            self._dispatching = False
+        if self._pending and not self._retry_scheduled:
+            # Time-gated policies (eviction staleness) need the clock to
+            # advance before a blocked task can be placed; poll.
+            if self._running_count == 0:
+                self._idle_retries += 1
+                if self._idle_retries > self.MAX_IDLE_RETRIES:
+                    stuck = sorted({t.model_key for t in self._pending})
+                    raise SimulationError(
+                        f"{self.system_name}: {len(self._pending)} tasks "
+                        f"stuck with an idle cluster (models: {stuck})"
+                    )
+            self._retry_scheduled = True
+            self.queue.schedule_in(self.RETRY_INTERVAL_S, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._dispatch()
+
+    def _finish(self, task: Task) -> None:
+        task.finish_s = self.queue.now
+        self._running_count -= 1
+        self.scheduler.on_finish(task, self.queue.now)
+        self._result.completed.append(task)
+        self._dispatch()
+
+    # -- entry point -----------------------------------------------------------------
+
+    def run(self, tasks: list) -> SimulationResult:
+        """Simulate the full task stream to completion."""
+        if not tasks:
+            raise SimulationError("no tasks to simulate")
+        for task in tasks:
+            self.queue.schedule(task.arrival_s, self._arrive, task)
+        self.queue.run()
+        if self._pending:
+            stuck = sorted({t.model_key for t in self._pending})
+            raise SimulationError(
+                f"{self.system_name}: {len(self._pending)} tasks never placed "
+                f"(models: {stuck}) — scheduler cannot serve this workload"
+            )
+        self._result.makespan_s = self.queue.now - min(t.arrival_s for t in tasks)
+        return self._result

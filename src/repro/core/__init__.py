@@ -1,0 +1,60 @@
+"""The paper's primary contribution: the soft-block system abstraction.
+
+This package implements Section 2 of the paper:
+
+* :mod:`~repro.core.patterns` / :mod:`~repro.core.softblock` — the new
+  system abstraction: a pool of soft blocks organised as a multi-level tree
+  whose internal nodes are one of the two primitive parallel patterns
+  (data parallelism, pipeline parallelism), Fig. 2.
+* :mod:`~repro.core.interface` — the latency-insensitive interface every
+  soft block exposes for inter-block communication.
+* :mod:`~repro.core.decompose` — the five-step bottom-up decomposing tool
+  (Section 2.2.1) that extracts all fine-grained parallel patterns from an
+  RTL accelerator under *no* resource constraints.
+* :mod:`~repro.core.partition` — the iterative pattern-guided partitioner
+  (Section 2.2.2) producing deployment units for up to 2^N FPGAs.
+* :mod:`~repro.core.mapping` — mapping results stored in the runtime
+  database.
+* :mod:`~repro.core.visualize` — ASCII rendering of soft-block trees.
+"""
+
+from .patterns import BlockRole, PatternKind
+from .softblock import SoftBlock, leaf_block, data_block, pipeline_block
+from .interface import LatencyInsensitiveInterface
+from .decompose import DecomposedAccelerator, Decomposer, decompose
+from .partition import PartitionNode, PartitionTree, Partitioner, partition
+from .flat_partition import (
+    FlatBipartition,
+    compare_partitioners,
+    flat_bipartition,
+    pipelines_cut,
+)
+from .topdown import TopDownDecomposer, decompose_top_down
+from .mapping import AcceleratorMapping, DeploymentOption
+from .visualize import render_tree
+
+__all__ = [
+    "AcceleratorMapping",
+    "BlockRole",
+    "DecomposedAccelerator",
+    "Decomposer",
+    "DeploymentOption",
+    "FlatBipartition",
+    "compare_partitioners",
+    "flat_bipartition",
+    "pipelines_cut",
+    "LatencyInsensitiveInterface",
+    "PartitionNode",
+    "PartitionTree",
+    "Partitioner",
+    "PatternKind",
+    "SoftBlock",
+    "TopDownDecomposer",
+    "decompose_top_down",
+    "data_block",
+    "decompose",
+    "leaf_block",
+    "partition",
+    "pipeline_block",
+    "render_tree",
+]

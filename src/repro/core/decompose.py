@@ -1,0 +1,555 @@
+"""The decomposing tool (paper Section 2.2.1).
+
+Decomposes an AS ISA-based accelerator, given as a structural RTL design,
+onto the soft-block system abstraction using the *bottom-up* flow the paper
+automates:
+
+1. **Build block graph** — extract all basic modules of the data path, one
+   leaf soft block each; edges come from shared nets (weights = net width).
+2. **Extract intra-block data parallelism** — a basic module whose primitive
+   network splits into k >= 2 equivalent independent components becomes a
+   DATA block of k slices.
+3. **Identify inter-block data parallelism** — structurally-equivalent
+   sibling blocks with the same producers/consumers merge under a DATA
+   parent (the paper's three cases are handled by normalising nested DATA
+   nodes, see :func:`_normalise_data_children`).
+4. **Identify pipeline parallelism** — linear producer/consumer chains merge
+   under a PIPELINE parent; two adjacent DATA blocks with equal arity merge
+   lane-wise into the two-level DATA-of-PIPELINE subtree of Fig. 4c.
+5. **Iterate** — steps 3 and 4 repeat until no block can be merged.
+
+The control path cannot be reliably identified automatically from RTL, so —
+exactly as in the paper — the caller marks it by module name
+(``control_modules=...``); those instances are kept in a single undivided
+CONTROL block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import DecomposeError
+from ..resources import ResourceVector, total
+from ..rtl import (
+    Design,
+    basic_module_instances,
+    instance_resources,
+    structural_signature,
+    validate_design,
+)
+from ..rtl.hierarchy import BasicInstance
+from ..rtl import primitives as rtl_primitives
+from .patterns import BlockRole, PatternKind
+from .softblock import SoftBlock, data_block, leaf_block, pipeline_block
+
+#: Net names treated as global distribution networks (never data edges).
+GLOBAL_NETS = ("clk", "clock", "rst", "reset", "rst_n", "en")
+
+
+@dataclass
+class DecomposeStats:
+    """Bookkeeping about one decomposition run (used by reports/tests)."""
+
+    basic_blocks: int = 0
+    control_blocks: int = 0
+    intra_block_splits: int = 0
+    data_merges: int = 0
+    pipeline_merges: int = 0
+    lane_merges: int = 0
+    iterations: int = 0
+    residual_roots: int = 0
+    events: list = field(default_factory=list)
+
+    def note(self, message: str) -> None:
+        self.events.append(message)
+
+
+@dataclass
+class DecomposedAccelerator:
+    """Result of decomposing one accelerator design.
+
+    ``control`` is the undivided control-path block; ``data_root`` is the
+    root of the extracted soft-block tree for the data path.
+    """
+
+    name: str
+    control: SoftBlock
+    data_root: SoftBlock
+    stats: DecomposeStats
+
+    def total_resources(self) -> ResourceVector:
+        """Control plus data-path demand."""
+        return self.control.resources() + self.data_root.resources()
+
+    @property
+    def root_pattern(self) -> PatternKind:
+        """Pattern of the data-path root — DATA enables the scale-out
+        optimisation of Section 2.3."""
+        return self.data_root.kind
+
+    def supports_scale_down(self) -> bool:
+        """True when the scale-down optimisation applies (root is DATA)."""
+        return self.data_root.kind is PatternKind.DATA
+
+
+class Decomposer:
+    """Configurable decomposing tool; see module docstring for the steps."""
+
+    def __init__(
+        self,
+        extract_intra_block: bool = True,
+        max_iterations: int = 64,
+    ):
+        self.extract_intra_block = extract_intra_block
+        self.max_iterations = max_iterations
+
+    # -- public API ------------------------------------------------------------
+
+    def decompose(
+        self,
+        design: Design,
+        control_modules,
+        name: str | None = None,
+    ) -> DecomposedAccelerator:
+        """Run the five-step flow on ``design``.
+
+        ``control_modules`` is an iterable of module names whose instances
+        form the control path (designer-provided, as in the paper).
+        """
+        validate_design(design)
+        control_set = set(control_modules)
+        stats = DecomposeStats()
+
+        instances = basic_module_instances(design)
+        if not instances:
+            raise DecomposeError(f"design {design.name!r} has no basic modules")
+
+        control_insts = [b for b in instances if self._is_control(b, control_set)]
+        data_insts = [b for b in instances if not self._is_control(b, control_set)]
+        if not data_insts:
+            raise DecomposeError(
+                "all basic modules were marked control; nothing to decompose"
+            )
+        if not control_insts:
+            raise DecomposeError(
+                f"no instance matched control modules {sorted(control_set)}; "
+                "mark the control path by module name"
+            )
+
+        control = self._build_control_block(design, control_insts)
+        stats.control_blocks = len(control_insts)
+
+        graph = self._build_block_graph(design, data_insts, stats)
+        stats.basic_blocks = graph.number_of_nodes()
+
+        self._iterate_merges(graph, stats)
+
+        data_root = self._finalise_root(graph, stats)
+        return DecomposedAccelerator(
+            name=name or design.name,
+            control=control,
+            data_root=data_root,
+            stats=stats,
+        )
+
+    # -- step 1: block graph ------------------------------------------------------
+
+    @staticmethod
+    def _is_control(instance: BasicInstance, control_set) -> bool:
+        if instance.module_name in control_set:
+            return True
+        return any(part in control_set for part in instance.path.split("/"))
+
+    def _build_control_block(self, design: Design, control_insts) -> SoftBlock:
+        resources = total(
+            instance_resources(design, inst.module_name) for inst in control_insts
+        )
+        names = sorted({inst.module_name for inst in control_insts})
+        return leaf_block(
+            name="control",
+            module_name="+".join(names),
+            resources=resources,
+            role=BlockRole.CONTROL,
+            metadata={"instances": [inst.path for inst in control_insts]},
+        )
+
+    def _build_block_graph(
+        self, design: Design, data_insts, stats: DecomposeStats
+    ) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        producers: dict[str, list] = {}
+        consumers: dict[str, list] = {}
+
+        for index, inst in enumerate(data_insts):
+            module = design.require_module(inst.module_name)
+            in_bits = sum(
+                module.ports[p].width
+                for p in inst.inputs
+                if p in module.ports and not self._is_global_port(p)
+            )
+            out_bits = sum(
+                module.ports[p].width for p in inst.outputs if p in module.ports
+            )
+            block = self._make_leaf(design, inst, in_bits, out_bits, stats)
+            graph.add_node(index, block=block)
+            for port_name, net_key in inst.outputs.items():
+                width = module.ports[port_name].width if port_name in module.ports else 1
+                producers.setdefault(net_key, []).append((index, width))
+            for port_name, net_key in inst.inputs.items():
+                if self._is_global_port(port_name):
+                    continue
+                width = module.ports[port_name].width if port_name in module.ports else 1
+                consumers.setdefault(net_key, []).append((index, width))
+
+        for net_key, outs in producers.items():
+            for src, width in outs:
+                for dst, _ in consumers.get(net_key, ()):
+                    if src == dst:
+                        continue
+                    if graph.has_edge(src, dst):
+                        graph.edges[src, dst]["bits"] += width
+                    else:
+                        graph.add_edge(src, dst, bits=width)
+        return graph
+
+    @staticmethod
+    def _is_global_port(port_name: str) -> bool:
+        return port_name.lower() in GLOBAL_NETS
+
+    def _make_leaf(
+        self,
+        design: Design,
+        inst: BasicInstance,
+        in_bits: int,
+        out_bits: int,
+        stats: DecomposeStats,
+    ) -> SoftBlock:
+        resources = instance_resources(design, inst.module_name)
+        signature = structural_signature(design, inst.module_name)
+        base = leaf_block(
+            name=inst.path or inst.module_name,
+            module_name=inst.module_name,
+            resources=resources,
+            signature=signature,
+            instance_path=inst.path,
+            in_bits=in_bits,
+            out_bits=out_bits,
+        )
+        if not self.extract_intra_block:
+            return base
+        lanes = self._intra_block_lanes(design, inst.module_name)
+        if lanes < 2:
+            return base
+        # Step 2 (Fig. 4a): replace the leaf by a DATA block of equal slices.
+        stats.intra_block_splits += 1
+        stats.note(f"intra-block split {inst.path or inst.module_name} x{lanes}")
+        slices = [
+            leaf_block(
+                name=f"{base.name}#lane{i}",
+                module_name=inst.module_name,
+                resources=resources * (1.0 / lanes),
+                signature=f"{signature}/lane",
+                instance_path=inst.path,
+                in_bits=max(1, in_bits // lanes),
+                out_bits=max(1, out_bits // lanes),
+            )
+            for i in range(lanes)
+        ]
+        return data_block(
+            base.name,
+            slices,
+            signature=signature,
+            in_bits=in_bits,
+            out_bits=out_bits,
+            instance_path=inst.path,
+        )
+
+    @staticmethod
+    def _intra_block_lanes(design: Design, module_name: str) -> int:
+        """Count equivalent independent primitive components inside a basic
+        module (the equivalence-checking step of Fig. 4a)."""
+        module = design.require_module(module_name)
+        prims = [
+            inst
+            for inst in module.instances.values()
+            if rtl_primitives.is_primitive(inst.module_name)
+        ]
+        if len(prims) < 2:
+            return 1
+        undirected = nx.Graph()
+        for inst in prims:
+            undirected.add_node(inst.name, cell=inst.module_name)
+        net_users: dict[str, list] = {}
+        for inst in prims:
+            for port_name, net_name in inst.connections.items():
+                if port_name.lower() in GLOBAL_NETS or net_name.lower() in GLOBAL_NETS:
+                    continue
+                if net_name in module.ports:
+                    continue  # shared I/O does not serialise lanes
+                net_users.setdefault(net_name, []).append(inst.name)
+        for users in net_users.values():
+            for i in range(len(users) - 1):
+                undirected.add_edge(users[i], users[i + 1])
+        components = list(nx.connected_components(undirected))
+        if len(components) < 2:
+            return 1
+        profiles = set()
+        for component in components:
+            cells = sorted(undirected.nodes[n]["cell"] for n in component)
+            profiles.add(tuple(cells))
+        return len(components) if len(profiles) == 1 else 1
+
+    # -- steps 3-5: iterate merges ---------------------------------------------------
+
+    def _iterate_merges(self, graph: nx.DiGraph, stats: DecomposeStats) -> None:
+        for _ in range(self.max_iterations):
+            stats.iterations += 1
+            changed = self._merge_data_siblings(graph, stats)
+            changed |= self._merge_lane_pipelines(graph, stats)
+            changed |= self._merge_pipeline_chains(graph, stats)
+            if not changed:
+                return
+        raise DecomposeError(
+            f"decomposition did not converge in {self.max_iterations} iterations"
+        )
+
+    def _merge_data_siblings(self, graph: nx.DiGraph, stats: DecomposeStats) -> bool:
+        """Step 3: group equivalent blocks sharing producers and consumers.
+
+        Grouping uses the *lane* signature — a DATA block whose children all
+        share one signature groups by that signature — so that incremental
+        merges (``data*2`` next to a bare lane, the paper's cases 2 and 3)
+        keep coalescing until one DATA parent covers the whole group.
+        """
+        groups: dict = {}
+        for node in graph.nodes:
+            block = graph.nodes[node]["block"]
+            preds = frozenset(graph.predecessors(node))
+            succs = frozenset(graph.successors(node))
+            key = (_lane_signature(block), preds - {node}, succs - {node})
+            groups.setdefault(key, []).append(node)
+
+        merged_any = False
+        for (signature, preds, succs), members in groups.items():
+            if len(members) < 2:
+                continue
+            member_set = set(members)
+            # Data-parallel blocks must not feed each other.
+            if preds & member_set or succs & member_set:
+                continue
+            blocks = [graph.nodes[n]["block"] for n in members]
+            children = _normalise_data_children(blocks)
+            parent = data_block(
+                name=f"data[{blocks[0].name}x{len(children)}]",
+                children=children,
+                signature=f"data*{len(children)}:{children[0].signature}",
+                in_bits=sum(b.in_bits for b in children),
+                out_bits=sum(b.out_bits for b in children),
+            )
+            _contract(graph, members, parent)
+            stats.data_merges += 1
+            stats.note(f"data merge x{len(children)} sig={signature[:12]}")
+            # Restart: the graph mutated under the grouping we iterate over.
+            return True
+        return merged_any
+
+    def _merge_lane_pipelines(self, graph: nx.DiGraph, stats: DecomposeStats) -> bool:
+        """Step 4 (Fig. 4c): adjacent equal-arity DATA blocks merge lane-wise
+        into DATA-of-PIPELINE."""
+        for src, dst in list(graph.edges):
+            if src == dst:
+                continue
+            a = graph.nodes[src]["block"]
+            b = graph.nodes[dst]["block"]
+            if a.kind is not PatternKind.DATA or b.kind is not PatternKind.DATA:
+                continue
+            if len(a.children) != len(b.children):
+                continue
+            if graph.out_degree(src) != 1 or graph.in_degree(dst) != 1:
+                continue
+            lanes = []
+            for index, (left, right) in enumerate(zip(a.children, b.children)):
+                stage_left = left.clone()
+                stage_right = right.clone()
+                edge_bits = graph.edges[src, dst]["bits"]
+                stage_left.out_bits = max(1, edge_bits // len(a.children))
+                lane = _join_pipeline(
+                    f"lane{index}[{stage_left.name}->{stage_right.name}]",
+                    [stage_left, stage_right],
+                )
+                lanes.append(lane)
+            parent = data_block(
+                name=f"data[{len(lanes)}xlane]",
+                children=lanes,
+                signature=f"data*{len(lanes)}:{lanes[0].signature}",
+                in_bits=a.in_bits,
+                out_bits=b.out_bits,
+            )
+            _contract(graph, [src, dst], parent)
+            stats.lane_merges += 1
+            stats.note(f"lane merge {a.name} -> {b.name}")
+            return True
+        return False
+
+    def _merge_pipeline_chains(self, graph: nx.DiGraph, stats: DecomposeStats) -> bool:
+        """Step 4 (chains): merge maximal linear producer/consumer chains."""
+        for start in list(graph.nodes):
+            chain = _maximal_chain(graph, start)
+            if len(chain) < 2:
+                continue
+            blocks = []
+            for position, node in enumerate(chain):
+                block = graph.nodes[node]["block"]
+                if position + 1 < len(chain):
+                    bits = graph.edges[node, chain[position + 1]]["bits"]
+                    block.out_bits = bits
+                blocks.append(block)
+            parent = _join_pipeline(
+                f"pipe[{blocks[0].name}..{blocks[-1].name}]", blocks
+            )
+            _contract(graph, chain, parent)
+            stats.pipeline_merges += 1
+            stats.note(f"pipeline merge of {len(chain)} stages")
+            return True
+        return False
+
+    # -- finish -------------------------------------------------------------------
+
+    @staticmethod
+    def _finalise_root(graph: nx.DiGraph, stats: DecomposeStats) -> SoftBlock:
+        nodes = list(graph.nodes)
+        stats.residual_roots = len(nodes)
+        if len(nodes) == 1:
+            return graph.nodes[nodes[0]]["block"]
+        # Irregular residue: order topologically and wrap in a pipeline so a
+        # single root always exists; flag it so callers know patterns did not
+        # fully cover the design.
+        try:
+            order = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            order = nodes
+        blocks = [graph.nodes[n]["block"] for n in order]
+        root = _join_pipeline("pipe[residual]", blocks)
+        root.metadata["irregular"] = True
+        stats.note(f"residual wrap of {len(blocks)} roots")
+        return root
+
+
+# ---------------------------------------------------------------------------
+# Graph/tree helpers
+# ---------------------------------------------------------------------------
+
+
+def _contract(graph: nx.DiGraph, members, parent: SoftBlock) -> None:
+    """Replace ``members`` by one node holding ``parent``; external edges are
+    re-attached with summed widths."""
+    member_set = set(members)
+    new_node = max(graph.nodes) + 1 if graph.nodes else 0
+    in_edges: dict = {}
+    out_edges: dict = {}
+    for node in members:
+        for pred in graph.predecessors(node):
+            if pred in member_set:
+                continue
+            in_edges[pred] = in_edges.get(pred, 0) + graph.edges[pred, node]["bits"]
+        for succ in graph.successors(node):
+            if succ in member_set:
+                continue
+            out_edges[succ] = out_edges.get(succ, 0) + graph.edges[node, succ]["bits"]
+    graph.remove_nodes_from(members)
+    graph.add_node(new_node, block=parent)
+    for pred, bits in in_edges.items():
+        graph.add_edge(pred, new_node, bits=bits)
+    for succ, bits in out_edges.items():
+        graph.add_edge(new_node, succ, bits=bits)
+
+
+def _lane_signature(block: SoftBlock) -> str:
+    """The signature a block contributes to data-parallel grouping.
+
+    A DATA block whose children all share one signature is, for grouping
+    purposes, just "several of that child" — the paper's cases 2 and 3.
+    """
+    if block.kind is PatternKind.DATA:
+        child_signatures = {child.signature for child in block.children}
+        if len(child_signatures) == 1:
+            return next(iter(child_signatures))
+    return block.signature
+
+
+def _normalise_data_children(blocks) -> list:
+    """Implement the paper's three inter-block data-parallelism cases by
+    splicing nested DATA nodes whose children share the group signature."""
+    children: list[SoftBlock] = []
+    lane_signatures = set()
+    for block in blocks:
+        if block.kind is PatternKind.DATA:
+            lane_signatures.update(child.signature for child in block.children)
+        else:
+            lane_signatures.add(block.signature)
+    splice = len(lane_signatures) == 1
+    for block in blocks:
+        if splice and block.kind is PatternKind.DATA:
+            children.extend(block.children)  # cases 2 and 3
+        else:
+            children.append(block)  # case 1
+    return children
+
+
+def _join_pipeline(name: str, blocks) -> SoftBlock:
+    """Create a PIPELINE parent, splicing nested PIPELINE children."""
+    stages: list[SoftBlock] = []
+    for block in blocks:
+        if block.kind is PatternKind.PIPELINE:
+            stages.extend(block.children)
+        else:
+            stages.append(block)
+    return pipeline_block(
+        name,
+        stages,
+        in_bits=stages[0].in_bits,
+        out_bits=stages[-1].out_bits,
+    )
+
+
+def _maximal_chain(graph: nx.DiGraph, start) -> list:
+    """The maximal linear chain through ``start`` (nodes with single in/out)."""
+
+    def linear_forward(node) -> bool:
+        return graph.out_degree(node) == 1
+
+    def linear_backward(node) -> bool:
+        return graph.in_degree(node) == 1
+
+    chain = [start]
+    seen = {start}
+    node = start
+    while linear_forward(node):
+        (succ,) = graph.successors(node)
+        if succ in seen or graph.in_degree(succ) != 1:
+            break
+        chain.append(succ)
+        seen.add(succ)
+        node = succ
+    node = start
+    while linear_backward(node):
+        (pred,) = graph.predecessors(node)
+        if pred in seen or graph.out_degree(pred) != 1:
+            break
+        chain.insert(0, pred)
+        seen.add(pred)
+        node = pred
+    return chain
+
+
+def decompose(
+    design: Design,
+    control_modules,
+    name: str | None = None,
+    extract_intra_block: bool = True,
+) -> DecomposedAccelerator:
+    """Convenience wrapper: run the default :class:`Decomposer`."""
+    tool = Decomposer(extract_intra_block=extract_intra_block)
+    return tool.decompose(design, control_modules, name=name)

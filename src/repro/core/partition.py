@@ -1,0 +1,247 @@
+"""The partitioning tool (paper Section 2.2.2, Fig. 6).
+
+Partitions a decomposed accelerator into clusters of soft blocks — the basic
+units of runtime deployment.  The extracted parallel patterns prune the
+search space:
+
+* a **PIPELINE** block is split at the inter-stage connection with the
+  *minimum communication bandwidth* (so the cut pays the least inter-FPGA
+  traffic), and
+* a **DATA** block is split by *evenly grouping* its children into two
+  halves (all cuts are equivalent by symmetry).
+
+Each iteration splits one cluster into two, building a binary *partition
+tree*.  With N iterations the accelerator can be deployed into up to 2^N
+FPGA devices; any *frontier* (antichain covering the tree) is a valid
+deployment — e.g. Fig. 6's blocks #2, #3, #4 deploy onto 3 devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PartitionError
+from ..resources import ResourceVector
+from .patterns import PatternKind
+from .softblock import SoftBlock, data_block, pipeline_block
+from .decompose import DecomposedAccelerator
+
+
+@dataclass
+class PartitionNode:
+    """One node of the binary partition tree.
+
+    ``cluster`` is the soft-block cluster this node deploys as a unit.
+    ``cut_bits`` is the bandwidth (bits per result) of the connection cut
+    when this node was split into its children (0 for leaves of the
+    partition tree).
+    """
+
+    index: int
+    cluster: SoftBlock
+    parent: "PartitionNode | None" = None
+    left: "PartitionNode | None" = None
+    right: "PartitionNode | None" = None
+    cut_bits: int = 0
+    cut_kind: PatternKind | None = None
+
+    @property
+    def is_split(self) -> bool:
+        return self.left is not None
+
+    def resources(self) -> ResourceVector:
+        """Resource demand of this deployment unit."""
+        return self.cluster.resources()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PartitionNode(#{self.index}, split={self.is_split})"
+
+
+@dataclass
+class PartitionTree:
+    """The full result of the iterative partitioning process."""
+
+    accelerator: str
+    root: PartitionNode
+    nodes: list = field(default_factory=list)
+    iterations: int = 0
+
+    def frontiers(self) -> list:
+        """All frontiers (valid deployments), smallest first.
+
+        A frontier is a set of nodes that exactly covers the accelerator:
+        for every split node either the node itself is taken or both subtrees
+        contribute.  The number of frontiers is exponential in depth in
+        general but tiny for the 1-2 iterations the paper uses.
+        """
+
+        def expand(node: PartitionNode) -> list:
+            options = [[node]]
+            if node.is_split:
+                for left_option in expand(node.left):
+                    for right_option in expand(node.right):
+                        options.append(left_option + right_option)
+            return options
+
+        frontier_list = expand(self.root)
+        frontier_list.sort(key=len)
+        return frontier_list
+
+    def frontier_of_size(self, count: int) -> list:
+        """A frontier with exactly ``count`` clusters (balanced choice).
+
+        Raises :class:`PartitionError` when no frontier of that size exists
+        (e.g. asking for 3 clusters after 1 iteration).
+        """
+        for frontier in self.frontiers():
+            if len(frontier) == count:
+                return frontier
+        raise PartitionError(
+            f"partition tree of {self.accelerator!r} has no frontier of "
+            f"size {count} (run more iterations)"
+        )
+
+    def max_ways(self) -> int:
+        """The largest available deployment width."""
+        return max(len(f) for f in self.frontiers())
+
+    def cut_bandwidth(self, frontier) -> int:
+        """Total bits crossing between clusters of ``frontier``.
+
+        Every split node whose two sides end up in *different* clusters of
+        the frontier contributes its recorded cut bandwidth.
+        """
+        taken = {node.index for node in frontier}
+
+        def crossing(node: PartitionNode) -> int:
+            if not node.is_split or node.index in taken:
+                return 0
+            return node.cut_bits + crossing(node.left) + crossing(node.right)
+
+        return crossing(self.root)
+
+
+class Partitioner:
+    """Iterative pattern-guided partitioner."""
+
+    def __init__(self, min_cluster_leaves: int = 1):
+        self.min_cluster_leaves = min_cluster_leaves
+
+    def partition(
+        self, accelerator: DecomposedAccelerator | SoftBlock, iterations: int = 1
+    ) -> PartitionTree:
+        """Build the partition tree with ``iterations`` rounds of splitting.
+
+        In each round every currently-unsplit cluster that *can* split is
+        split once (mirroring Fig. 6, where iteration ``i`` doubles the
+        maximum deployment width to ``2^i``).
+        """
+        if iterations < 0:
+            raise PartitionError("iterations must be non-negative")
+        if isinstance(accelerator, DecomposedAccelerator):
+            root_block = accelerator.data_root
+            name = accelerator.name
+        else:
+            root_block = accelerator
+            name = accelerator.name
+
+        counter = [1]
+        root = PartitionNode(index=counter[0], cluster=root_block)
+        tree = PartitionTree(accelerator=name, root=root, nodes=[root])
+
+        frontier = [root]
+        for _ in range(iterations):
+            tree.iterations += 1
+            next_frontier = []
+            for node in frontier:
+                split = self._split(node, counter)
+                if split is None:
+                    next_frontier.append(node)
+                    continue
+                tree.nodes.extend([node.left, node.right])
+                next_frontier.extend([node.left, node.right])
+            if next_frontier == frontier:
+                break  # nothing splittable remains
+            frontier = next_frontier
+        return tree
+
+    # -- the split rule ------------------------------------------------------------
+
+    def _split(self, node: PartitionNode, counter: list) -> PartitionNode | None:
+        cluster = node.cluster
+        if cluster.kind is PatternKind.LEAF:
+            return None
+        if len(cluster.leaves()) < 2 * self.min_cluster_leaves:
+            return None
+        if cluster.kind is PatternKind.PIPELINE:
+            halves, cut_bits = self._split_pipeline(cluster)
+        else:
+            halves, cut_bits = self._split_data(cluster)
+        if halves is None:
+            return None
+        left_block, right_block = halves
+        counter[0] += 1
+        node.left = PartitionNode(
+            index=counter[0], cluster=left_block, parent=node
+        )
+        counter[0] += 1
+        node.right = PartitionNode(
+            index=counter[0], cluster=right_block, parent=node
+        )
+        node.cut_bits = cut_bits
+        node.cut_kind = cluster.kind
+        return node
+
+    @staticmethod
+    def _split_pipeline(cluster: SoftBlock):
+        """Cut the pipeline at the minimum-bandwidth inter-stage connection."""
+        children = cluster.children
+        best_index = None
+        best_bits = None
+        for index in range(len(children) - 1):
+            bits = children[index].out_bits or 1
+            if best_bits is None or bits < best_bits:
+                best_bits = bits
+                best_index = index
+        left = _regroup(cluster, children[: best_index + 1], PatternKind.PIPELINE)
+        right = _regroup(cluster, children[best_index + 1 :], PatternKind.PIPELINE)
+        return (left, right), int(best_bits)
+
+    @staticmethod
+    def _split_data(cluster: SoftBlock):
+        """Evenly group data-parallel children into two clusters."""
+        children = cluster.children
+        middle = (len(children) + 1) // 2
+        left = _regroup(cluster, children[:middle], PatternKind.DATA)
+        right = _regroup(cluster, children[middle:], PatternKind.DATA)
+        # The cut carries the scatter/gather traffic of the moved half.
+        moved = children[middle:]
+        cut_bits = sum(child.in_bits + child.out_bits for child in moved)
+        return (left, right), int(cut_bits)
+
+
+def _regroup(parent: SoftBlock, children, kind: PatternKind) -> SoftBlock:
+    """Wrap a child slice in a new parent of the same pattern (paper: "two
+    parent soft blocks are then created for these two clusters")."""
+    if len(children) == 1:
+        return children[0]
+    factory = pipeline_block if kind is PatternKind.PIPELINE else data_block
+    block = factory(f"{parent.name}/part", list(children))
+    block.in_bits = (
+        children[0].in_bits
+        if kind is PatternKind.PIPELINE
+        else sum(c.in_bits for c in children)
+    )
+    block.out_bits = (
+        children[-1].out_bits
+        if kind is PatternKind.PIPELINE
+        else sum(c.out_bits for c in children)
+    )
+    return block
+
+
+def partition(
+    accelerator: DecomposedAccelerator | SoftBlock, iterations: int = 1
+) -> PartitionTree:
+    """Convenience wrapper: run the default :class:`Partitioner`."""
+    return Partitioner().partition(accelerator, iterations=iterations)

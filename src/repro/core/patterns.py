@@ -1,0 +1,58 @@
+"""Parallel patterns and block roles.
+
+The system abstraction recognises exactly two primitive parallel patterns
+(paper Fig. 2b):
+
+* **data parallelism** — child blocks compute the same function on disjoint
+  slices of the data; they have no edges among themselves.
+* **pipeline parallelism** — child blocks form a linear producer/consumer
+  chain.
+
+The paper chooses these two because they are sufficient to construct other
+complex or nested patterns (e.g. the reduction pattern in Fig. 2c is a data
+stage feeding a pipeline of combiners).  :func:`compose` provides that
+algebra: nested combinations of the two primitives expressed as trees.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PatternKind(enum.Enum):
+    """The connection pattern among a soft block's children."""
+
+    #: A leaf soft block: contains one basic module (or a data-parallel
+    #: slice of one), no children.
+    LEAF = "leaf"
+    #: Children are data-parallel replicas.
+    DATA = "data"
+    #: Children form a linear pipeline, in list order.
+    PIPELINE = "pipeline"
+
+    @property
+    def is_composite(self) -> bool:
+        """True for the two primitive parallel patterns."""
+        return self is not PatternKind.LEAF
+
+
+class BlockRole(enum.Enum):
+    """Whether a block belongs to the control path or the data path.
+
+    The decomposer splits control and data at the top of the design
+    (paper Fig. 3a) and only decomposes the data path; the control block is
+    kept whole so the original software programs keep running after the
+    scale-down optimisation.
+    """
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+def describe_pattern(kind: PatternKind, arity: int) -> str:
+    """Human-readable pattern description used in reports."""
+    if kind is PatternKind.LEAF:
+        return "leaf"
+    if kind is PatternKind.DATA:
+        return f"data-parallel x{arity}"
+    return f"pipeline of {arity} stages"

@@ -1,0 +1,264 @@
+"""The top-down decomposing flow (paper Fig. 3b).
+
+The paper describes two equivalent flows for decomposing the data path:
+bottom-up (implemented in :mod:`repro.core.decompose`, and the one the
+paper's automation uses "due to the ease of implementation") and top-down —
+"one soft block is decomposed into multiple child blocks based on one of
+the two primitive parallel patterns [...] recursively applied on the newly
+generated soft block until it contains a basic module".
+
+The top-down flow works directly on the *module hierarchy*: at each level
+it groups a module's data-path instances into data-parallel sets (by
+structural equivalence with shared context) or pipeline chains (by
+connectivity), descends into non-basic children, and bottoms out at basic
+modules.  On designs whose hierarchy mirrors the parallel structure — like
+the generated accelerator — it produces the same tree as the bottom-up
+flow; tests assert that equivalence.
+"""
+
+from __future__ import annotations
+
+from ..errors import DecomposeError
+from ..resources import ResourceVector
+from ..rtl import Design, instance_resources, is_basic_module, structural_signature
+from ..rtl.ir import Direction, Module
+from .decompose import GLOBAL_NETS, DecomposeStats, DecomposedAccelerator
+from .patterns import BlockRole, PatternKind
+from .softblock import SoftBlock, data_block, leaf_block, pipeline_block
+
+
+class TopDownDecomposer:
+    """Fig. 3b's recursive flow over the module hierarchy."""
+
+    def decompose(
+        self,
+        design: Design,
+        control_modules,
+        name: str | None = None,
+    ) -> DecomposedAccelerator:
+        """Decompose ``design``; same contract as the bottom-up tool."""
+        control_set = set(control_modules)
+        stats = DecomposeStats()
+
+        top = design.top_module
+        data_instances = [
+            inst
+            for inst in top.instances.values()
+            if design.has_module(inst.module_name)
+            and inst.module_name not in control_set
+            and inst.name not in control_set
+        ]
+        control_instances = [
+            inst
+            for inst in top.instances.values()
+            if design.has_module(inst.module_name)
+            and (inst.module_name in control_set or inst.name in control_set)
+        ]
+        if not control_instances:
+            raise DecomposeError(
+                f"no instance matched control modules {sorted(control_set)}"
+            )
+        if not data_instances:
+            raise DecomposeError("all top-level instances marked control")
+        stats.control_blocks = len(control_instances)
+
+        control = leaf_block(
+            name="control",
+            module_name="+".join(
+                sorted({inst.module_name for inst in control_instances})
+            ),
+            resources=_sum_resources(design, control_instances),
+            role=BlockRole.CONTROL,
+            metadata={"instances": [inst.name for inst in control_instances]},
+        )
+
+        data_root = self._decompose_group(design, top, data_instances, "", stats)
+        return DecomposedAccelerator(
+            name=name or design.name,
+            control=control,
+            data_root=data_root,
+            stats=stats,
+        )
+
+    # -- the recursive split --------------------------------------------------
+
+    def _decompose_group(
+        self, design: Design, parent: Module, instances, path: str,
+        stats: DecomposeStats,
+    ) -> SoftBlock:
+        """Decompose a set of sibling instances inside ``parent``."""
+        if len(instances) == 1:
+            return self._decompose_instance(design, instances[0], path, stats)
+
+        # Try the data-parallel split: all siblings structurally equivalent
+        # and not connected to each other.
+        signatures = {
+            structural_signature(design, inst.module_name)
+            for inst in instances
+        }
+        if len(signatures) == 1 and not _interconnected(
+            design, parent, instances
+        ):
+            stats.data_merges += 1
+            children = [
+                self._decompose_instance(design, inst, path, stats)
+                for inst in instances
+            ]
+            return data_block(
+                f"data[{path or parent.name}x{len(children)}]",
+                children,
+                in_bits=sum(c.in_bits for c in children),
+                out_bits=sum(c.out_bits for c in children),
+            )
+
+        # Try the pipeline split: a producer/consumer chain over all
+        # siblings.
+        chain = _chain_order(design, parent, instances)
+        if chain is not None:
+            stats.pipeline_merges += 1
+            stages: list = []
+            for index, (inst, out_bits) in enumerate(chain):
+                child = self._decompose_instance(design, inst, path, stats)
+                # Splice nested pipelines so both flows produce the same
+                # normal form (a stage that is itself a chain contributes
+                # its stages directly).
+                if child.kind is PatternKind.PIPELINE:
+                    inner = child.children
+                else:
+                    inner = [child]
+                if index + 1 < len(chain):
+                    inner[-1].out_bits = out_bits
+                stages.extend(inner)
+            return pipeline_block(
+                f"pipe[{path or parent.name}]",
+                stages,
+                in_bits=stages[0].in_bits,
+                out_bits=stages[-1].out_bits,
+            )
+
+        raise DecomposeError(
+            f"instances of {parent.name!r} match neither primitive pattern; "
+            "the top-down flow needs a pattern-shaped hierarchy "
+            "(use the bottom-up tool for irregular designs)"
+        )
+
+    def _decompose_instance(
+        self, design: Design, inst, path: str, stats: DecomposeStats
+    ) -> SoftBlock:
+        child_path = f"{path}/{inst.name}" if path else inst.name
+        module = design.require_module(inst.module_name)
+        if is_basic_module(design, inst.module_name):
+            stats.basic_blocks += 1
+            return leaf_block(
+                name=child_path,
+                module_name=inst.module_name,
+                resources=instance_resources(design, inst.module_name),
+                signature=structural_signature(design, inst.module_name),
+                instance_path=child_path,
+                in_bits=_port_bits(module, Direction.INPUT),
+                out_bits=_port_bits(module, Direction.OUTPUT),
+            )
+        inner = [
+            child
+            for child in module.instances.values()
+            if design.has_module(child.module_name)
+        ]
+        if not inner:
+            raise DecomposeError(
+                f"module {inst.module_name!r} is neither basic nor "
+                "hierarchical"
+            )
+        block = self._decompose_group(design, module, inner, child_path, stats)
+        if block.in_bits == 0:
+            block.in_bits = _port_bits(module, Direction.INPUT)
+        if block.out_bits == 0:
+            block.out_bits = _port_bits(module, Direction.OUTPUT)
+        return block
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _sum_resources(design: Design, instances) -> ResourceVector:
+    total = ResourceVector.zero()
+    for inst in instances:
+        total = total + instance_resources(design, inst.module_name)
+    return total
+
+
+def _port_bits(module: Module, direction: Direction) -> int:
+    return sum(
+        port.width
+        for port in module.ports.values()
+        if port.direction is direction and port.name.lower() not in GLOBAL_NETS
+    )
+
+
+def _data_edges(design: Design, parent: Module, instances) -> dict:
+    """Directed edges among ``instances`` via shared nets (width summed)."""
+    producers: dict = {}
+    consumers: dict = {}
+    for inst in instances:
+        ports = design.ports_of(inst.module_name)
+        for port_name, net_name in inst.connections.items():
+            port = ports.get(port_name)
+            if port is None or port_name.lower() in GLOBAL_NETS:
+                continue
+            if net_name.lower() in GLOBAL_NETS or net_name in parent.ports:
+                continue
+            if port.direction is Direction.OUTPUT:
+                producers.setdefault(net_name, []).append((inst.name, port.width))
+            elif port.direction is Direction.INPUT:
+                consumers.setdefault(net_name, []).append((inst.name, port.width))
+    edges: dict = {}
+    for net_name, outs in producers.items():
+        for src, width in outs:
+            for dst, _ in consumers.get(net_name, ()):
+                if src != dst:
+                    edges[(src, dst)] = edges.get((src, dst), 0) + width
+    return edges
+
+
+def _interconnected(design: Design, parent: Module, instances) -> bool:
+    return bool(_data_edges(design, parent, instances))
+
+
+def _chain_order(design: Design, parent: Module, instances):
+    """Return ``[(instance, out_bits), ...]`` when the siblings form one
+    linear chain, else ``None``."""
+    edges = _data_edges(design, parent, instances)
+    by_name = {inst.name: inst for inst in instances}
+    successors: dict = {}
+    predecessors: dict = {}
+    for (src, dst), bits in edges.items():
+        successors.setdefault(src, {})[dst] = bits
+        predecessors.setdefault(dst, {})[src] = bits
+    heads = [name for name in by_name if name not in predecessors]
+    if len(heads) != 1:
+        return None
+    order = []
+    current = heads[0]
+    seen = set()
+    while True:
+        seen.add(current)
+        nexts = successors.get(current, {})
+        if not nexts:
+            order.append((by_name[current], 0))
+            break
+        if len(nexts) != 1:
+            return None
+        (next_name, bits), = nexts.items()
+        if next_name in seen or next_name not in by_name:
+            return None
+        order.append((by_name[current], bits))
+        current = next_name
+    return order if len(order) == len(instances) else None
+
+
+def decompose_top_down(
+    design: Design, control_modules, name: str | None = None
+) -> DecomposedAccelerator:
+    """Convenience wrapper over :class:`TopDownDecomposer`."""
+    return TopDownDecomposer().decompose(design, control_modules, name=name)

@@ -1,0 +1,55 @@
+"""ASCII rendering of soft-block trees and partition trees.
+
+Used by the examples and by ``DecomposedAccelerator`` debugging; renders the
+multi-level tree structure of Fig. 2/9 in the terminal.
+"""
+
+from __future__ import annotations
+
+from .softblock import SoftBlock
+
+
+def render_tree(block: SoftBlock, max_depth: int | None = None) -> str:
+    """Render a soft-block subtree as an indented ASCII tree.
+
+    ``max_depth`` truncates deep trees; truncated branches render an
+    ellipsis with the hidden block count.
+    """
+    lines: list[str] = []
+
+    def walk(node: SoftBlock, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if prefix == "" and not lines else ("`-- " if is_last else "|-- ")
+        lines.append(f"{prefix}{connector}{node.label()}")
+        if not node.children:
+            return
+        child_prefix = prefix + ("" if prefix == "" and len(lines) == 1 else ("    " if is_last else "|   "))
+        if max_depth is not None and depth + 1 >= max_depth:
+            hidden = sum(child.count() for child in node.children)
+            lines.append(f"{child_prefix}`-- ... ({hidden} blocks hidden)")
+            return
+        for index, child in enumerate(node.children):
+            walk(child, child_prefix, index == len(node.children) - 1, depth + 1)
+
+    walk(block, "", True, 0)
+    return "\n".join(lines)
+
+
+def render_partition(tree) -> str:
+    """Render a :class:`~repro.core.partition.PartitionTree` with cluster ids
+    and cut bandwidths (Fig. 6 style)."""
+    lines: list[str] = []
+
+    def walk(node, indent: int) -> None:
+        pad = "  " * indent
+        leaves = len(node.cluster.leaves())
+        res = node.cluster.resources().describe()
+        tag = f"block #{node.index} ({leaves} leaves, {res})"
+        if node.is_split:
+            tag += f" -- cut {node.cut_bits} bits [{node.cut_kind.value}]"
+        lines.append(pad + tag)
+        if node.is_split:
+            walk(node.left, indent + 1)
+            walk(node.right, indent + 1)
+
+    walk(tree.root, 0)
+    return "\n".join(lines)

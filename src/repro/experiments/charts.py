@@ -1,0 +1,112 @@
+"""Terminal chart rendering for the figure experiments.
+
+Figs. 11 and 12 are plots in the paper; these helpers render them as ASCII
+charts so ``python -m repro fig11``/``fig12`` reproduce the *figures*, not
+just their data tables.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+#: Glyphs used to distinguish series in a line chart.
+SERIES_GLYPHS = "ox+*#@"
+
+
+def line_chart(
+    xs: list,
+    series: dict,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Plot one or more y-series over shared x values.
+
+    ``series`` maps a name to a list of y values (same length as ``xs``).
+    The y axis starts at zero so relative magnitudes read correctly.
+    """
+    if not xs or not series:
+        raise ReproError("line_chart needs x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ReproError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} xs"
+            )
+
+    y_max = max(max(ys) for ys in series.values())
+    if y_max <= 0:
+        raise ReproError("line_chart needs positive values")
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in zip(xs, ys):
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int(y / y_max * (height - 1))
+            grid[row][column] = glyph
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.3g} "
+        elif row_index == height - 1:
+            label = f"{0:.3g} ".rjust(len(f"{y_max:.3g} "))
+        else:
+            label = " " * len(f"{y_max:.3g} ")
+        lines.append(label + "|" + "".join(row))
+    axis_pad = " " * len(f"{y_max:.3g} ")
+    lines.append(axis_pad + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width - 6) + f"{x_max:.3g}"
+    lines.append(axis_pad + " " + x_axis)
+    if x_label:
+        lines.append(axis_pad + " " + x_label)
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} = {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append("")
+    lines.append(legend)
+    if y_label:
+        lines.insert(0, y_label)
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    labels: list,
+    groups: dict,
+    width: int = 40,
+    y_label: str = "",
+) -> str:
+    """Horizontal grouped bars: one row block per label, one bar per group.
+
+    ``groups`` maps a series name to per-label values.
+    """
+    if not labels or not groups:
+        raise ReproError("grouped_bar_chart needs labels and groups")
+    for name, values in groups.items():
+        if len(values) != len(labels):
+            raise ReproError(
+                f"group {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+    peak = max(max(values) for values in groups.values())
+    if peak <= 0:
+        raise ReproError("grouped_bar_chart needs positive values")
+
+    name_width = max(len(str(name)) for name in groups)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if y_label:
+        lines.append(f"{y_label} (full bar = {peak:.3g})")
+    for index, label in enumerate(labels):
+        lines.append(str(label).ljust(label_width))
+        for name in groups:
+            value = groups[name][index]
+            bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+            lines.append(
+                f"  {str(name).ljust(name_width)} |{bar} {value:.3g}"
+            )
+    return "\n".join(lines)

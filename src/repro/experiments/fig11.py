@@ -1,0 +1,138 @@
+"""Fig. 11 — impact of inter-FPGA communication latency on inference
+latency when one accelerator is deployed onto two FPGA devices.
+
+The paper inserts a programmable counter+FIFO module to add latency to the
+ring network and plots inference latency against the added latency for an
+LSTM, a small GRU (h=1024) and a large GRU (h=2560).  Observed shape: the
+optimisation technique fully hides the communication for the LSTM, hides it
+for the small GRU up to ~0.6 us of added latency, and cannot hide it for
+the large GRU (bigger accelerator => less compute to overlap; longer vector
+=> more data to move).
+
+This driver rebuilds the whole offline pipeline per point: replica programs
+with communication inserted and reordered, demand-sized replica instances,
+and the ring model's exchange time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..accel.codegen import build_scaleout_programs
+from ..accel.timing import CycleModel, VirtualizationContext
+from ..cluster.network import RingNetwork
+from ..perf.latency import demand_sized_instance
+from ..perf.overlap import scaleout_latency
+from ..units import us
+from ..workloads.deepbench import ModelSpec
+from .report import format_table
+
+#: The three curves of Fig. 11.
+FIG11_MODELS = (
+    ModelSpec("lstm", 1024, 25),
+    ModelSpec("gru", 1024, 1500),
+    ModelSpec("gru", 2560, 375),
+)
+
+#: Added-latency sweep (seconds), matching the paper's 0-1.2 us x-axis.
+DEFAULT_SWEEP = tuple(us(x) for x in np.linspace(0.0, 1.2, 13))
+
+
+@dataclass
+class Fig11Curve:
+    """One model's latency curve over the added-latency sweep."""
+
+    model: ModelSpec
+    added_latency_s: list = field(default_factory=list)
+    latency_s: list = field(default_factory=list)
+    overlap_window_s: float = 0.0
+    comm_at_zero_s: float = 0.0
+
+    @property
+    def hideable_added_latency_s(self) -> float:
+        """Largest added latency fully absorbed by the overlap window."""
+        return max(0.0, self.overlap_window_s - self.comm_at_zero_s)
+
+    def normalised(self) -> list:
+        """Latency relative to the zero-added-latency point."""
+        base = self.latency_s[0]
+        return [value / base for value in self.latency_s]
+
+
+def run_fig11(
+    sweep=DEFAULT_SWEEP,
+    models=FIG11_MODELS,
+    reorder: bool = True,
+    device_type: str = "XCVU37P",
+) -> list:
+    """Sweep added network latency for each model on a 2-FPGA deployment.
+
+    ``reorder=False`` disables the instruction-reordering tool (the
+    ablation: the receive stays at the top of the loop body, the overlap
+    window is empty, and every curve climbs from zero added latency).
+    """
+    network = RingNetwork(["fpga-0", "fpga-1"])
+    members = ["fpga-0", "fpga-1"]
+    curves = []
+    for spec in models:
+        programs = build_scaleout_programs(
+            spec.kind, spec.metadata_weights(), spec.timesteps, 2, reorder=reorder
+        )
+        choice = demand_sized_instance(spec.weight_bits(7), device_type, replicas=2)
+        model = CycleModel(choice.config)
+        virt = VirtualizationContext(virtual_blocks=8)
+        curve = Fig11Curve(model=spec)
+        for added in sweep:
+            report = scaleout_latency(
+                programs[0], model, network, members,
+                added_latency_s=added, virtualization=virt,
+            )
+            curve.added_latency_s.append(added)
+            curve.latency_s.append(report.total_s)
+            curve.overlap_window_s = report.overlap_window_s
+            if added == sweep[0]:
+                curve.comm_at_zero_s = report.comm_per_step_s
+        curves.append(curve)
+    return curves
+
+
+def render(curves: list) -> str:
+    headers = ["Added latency (us)"] + [c.model.key + " (ms)" for c in curves]
+    body = []
+    for index, added in enumerate(curves[0].added_latency_s):
+        row = [f"{added * 1e6:.2f}"]
+        for curve in curves:
+            row.append(f"{curve.latency_s[index] * 1e3:.4g}")
+        body.append(row)
+    summary = "\n".join(
+        f"{curve.model.key}: overlap window {curve.overlap_window_s * 1e6:.2f} us, "
+        f"comm at zero {curve.comm_at_zero_s * 1e6:.2f} us, "
+        f"hides up to {curve.hideable_added_latency_s * 1e6:.2f} us of added latency"
+        for curve in curves
+    )
+    from .charts import line_chart
+
+    chart = line_chart(
+        [added * 1e6 for added in curves[0].added_latency_s],
+        {
+            curve.model.key: [
+                (value - 1.0) * 100.0 + 1e-6 for value in curve.normalised()
+            ]
+            for curve in curves
+        },
+        x_label="added inter-FPGA latency (us)",
+        y_label="latency increase over +0 us (%)",
+    )
+    return (
+        format_table(headers, body, title="Fig. 11: latency vs added inter-FPGA latency")
+        + "\n\n"
+        + chart
+        + "\n\n"
+        + summary
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run_fig11()))

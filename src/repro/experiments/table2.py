@@ -1,0 +1,135 @@
+"""Table 2 — hardware implementation results of the two baseline
+accelerators.
+
+Regenerates, per instance (BW-V37 on the XCVU37P, BW-K115 on the XCKU115):
+LUT/FF/BRAM/URAM/DSP usage with device utilisation percentages, achieved
+frequency (with floorplanning, per the paper's methodology), and peak
+TFLOPS.  Resource numbers come from the RTL generator's estimator, not from
+lookup tables; the paper's values are attached for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import BW_K115, BW_V37, generate_accelerator
+from ..accel.config import AcceleratorConfig
+from ..resources import ResourceVector
+from ..rtl import design_resources
+from ..units import to_mbit, to_mhz, to_tflops
+from ..vital.device import DEVICE_TYPES, FPGAModel
+from ..vital.floorplan import FloorplanQuality, achieved_frequency
+from .report import format_table
+
+#: Table 2 as printed in the paper (usage, freq MHz, peak TFLOPS).
+PAPER_TABLE2 = {
+    "BW-V37": {
+        "device": "XCVU37P", "tiles": 21, "luts": 610e3, "ffs": 659e3,
+        "bram_mb": 51.5, "uram_mb": 22.5, "dsps": 7517, "freq_mhz": 400,
+        "tflops": 36.0,
+    },
+    "BW-K115": {
+        "device": "XCKU115", "tiles": 13, "luts": 367e3, "ffs": 386e3,
+        "bram_mb": 45.4, "uram_mb": 0.0, "dsps": 5073, "freq_mhz": 300,
+        "tflops": 16.7,
+    },
+}
+
+
+@dataclass
+class Table2Row:
+    """One measured row plus the paper's reference values."""
+
+    instance: str
+    device: str
+    tiles: int
+    resources: ResourceVector
+    utilisation: dict
+    frequency_hz: float
+    peak_tflops: float
+    paper: dict
+
+    def rel_error(self, field: str) -> float:
+        """Relative deviation from the paper for one quantity."""
+        ours = {
+            "luts": self.resources.luts,
+            "ffs": self.resources.ffs,
+            "bram_mb": to_mbit(self.resources.bram_bits),
+            "uram_mb": to_mbit(self.resources.uram_bits),
+            "dsps": self.resources.dsps,
+            "tflops": self.peak_tflops,
+        }[field]
+        reference = self.paper[field]
+        if reference == 0:
+            return 0.0 if ours == 0 else float("inf")
+        return ours / reference - 1.0
+
+
+def _measure(config: AcceleratorConfig, device: FPGAModel, paper: dict) -> Table2Row:
+    design = generate_accelerator(config)
+    demand = design_resources(design)
+    return Table2Row(
+        instance=config.name,
+        device=device.name,
+        tiles=config.tiles,
+        resources=demand,
+        utilisation=demand.utilisation(device.resources),
+        frequency_hz=achieved_frequency(
+            device, demand, FloorplanQuality.FLOORPLANNED
+        ),
+        peak_tflops=to_tflops(
+            config.with_frequency(device.frequency_hz).peak_flops
+        ),
+        paper=paper,
+    )
+
+
+def run_table2() -> list:
+    """Measure both baseline instances; returns the two rows."""
+    rows = []
+    for config in (BW_V37, BW_K115):
+        paper = PAPER_TABLE2[config.name]
+        device = DEVICE_TYPES[paper["device"]]
+        rows.append(_measure(config, device, paper))
+    return rows
+
+
+def render(rows: list) -> str:
+    """The Table 2 layout with paper values in parentheses."""
+    body = []
+    for row in rows:
+        util = row.utilisation
+        paper = row.paper
+
+        def cell(ours: float, reference: float, util_key: str | None = None) -> str:
+            text = f"{ours:,.0f}"
+            if util_key is not None and util[util_key] == util[util_key]:
+                text += f" ({util[util_key] * 100:.1f}%)"
+            return f"{text} [paper {reference:,.0f}]"
+
+        body.append(
+            [
+                row.instance,
+                row.device,
+                row.tiles,
+                cell(row.resources.luts / 1e3, paper["luts"] / 1e3, "luts"),
+                cell(row.resources.ffs / 1e3, paper["ffs"] / 1e3, "ffs"),
+                cell(to_mbit(row.resources.bram_bits), paper["bram_mb"], "bram_bits"),
+                cell(to_mbit(row.resources.uram_bits), paper["uram_mb"], "uram_bits"),
+                cell(row.resources.dsps, paper["dsps"], "dsps"),
+                f"{to_mhz(row.frequency_hz):.0f}",
+                f"{row.peak_tflops:.1f} [paper {paper['tflops']}]",
+            ]
+        )
+    return format_table(
+        [
+            "Instance", "Device", "#Tiles", "kLUTs", "kDFFs", "BRAM(Mb)",
+            "URAM(Mb)", "DSPs", "Freq(MHz)", "Peak TFLOPS",
+        ],
+        body,
+        title="Table 2: baseline accelerator implementation results",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run_table2()))

@@ -1,0 +1,114 @@
+"""Table 3 — implementation results of one virtual block when mapping the
+decomposed accelerator onto the ViTAL-style HS abstraction.
+
+For each device type, the matching baseline accelerator is decomposed and
+compiled onto virtual blocks; the row reports the per-block share of the
+design's resources, the per-block utilisation (against the virtual block's
+capacity), achieved frequency, and per-block peak TFLOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import BW_K115, BW_V37, CONTROL_MODULES, generate_accelerator
+from ..core import decompose, partition
+from ..resources import ResourceVector
+from ..units import to_mbit, to_mhz, to_tflops
+from ..vital import VitalCompiler
+from ..vital.device import DEVICE_TYPES
+from .report import format_table
+
+#: Table 3 as printed (per-block usage, freq, peak TFLOPS).
+PAPER_TABLE3 = {
+    "XCVU37P": {
+        "luts": 44.9e3, "ffs": 48.8e3, "bram_mb": 3.9, "uram_mb": 2.1,
+        "dsps": 576, "freq_mhz": 400, "tflops": 3.69,
+    },
+    "XCKU115": {
+        "luts": 39.9e3, "ffs": 34.9e3, "bram_mb": 4.5, "uram_mb": 0.0,
+        "dsps": 552, "freq_mhz": 300, "tflops": 2.07,
+    },
+}
+
+
+@dataclass
+class Table3Row:
+    """Per-virtual-block implementation results on one device type."""
+
+    device: str
+    virtual_blocks: int
+    per_block: ResourceVector
+    utilisation: dict
+    frequency_hz: float
+    per_block_tflops: float
+    paper: dict
+
+
+def run_table3() -> list:
+    """Compile each baseline instance for its device; report per-block."""
+    rows = []
+    for config, device_name in ((BW_V37, "XCVU37P"), (BW_K115, "XCKU115")):
+        device = DEVICE_TYPES[device_name]
+        decomposed = decompose(generate_accelerator(config), CONTROL_MODULES)
+        tree = partition(decomposed, iterations=0)
+        compiler = VitalCompiler(devices={device_name: device})
+        compiled = compiler.compile_accelerator(decomposed, tree)
+        option = compiled.mapping.sorted_options()[0]
+        image = option.images[option.cluster_indices[0]][device_name]
+        blocks = image.virtual_blocks
+        per_block = image.resources * (1.0 / blocks)
+        peak = to_tflops(
+            config.with_frequency(image.frequency_hz).peak_flops
+        ) / blocks
+        rows.append(
+            Table3Row(
+                device=device_name,
+                virtual_blocks=blocks,
+                per_block=per_block,
+                utilisation=per_block.utilisation(device.block_capacity),
+                frequency_hz=image.frequency_hz,
+                per_block_tflops=peak,
+                paper=PAPER_TABLE3[device_name],
+            )
+        )
+    return rows
+
+
+def render(rows: list) -> str:
+    body = []
+    for row in rows:
+        util = row.utilisation
+        paper = row.paper
+
+        def cell(ours: float, reference: float, util_key: str) -> str:
+            text = f"{ours:,.1f}"
+            if util[util_key] == util[util_key]:  # not NaN
+                text += f" ({util[util_key] * 100:.1f}%)"
+            return f"{text} [paper {reference:,.1f}]"
+
+        body.append(
+            [
+                row.device,
+                row.virtual_blocks,
+                cell(row.per_block.luts / 1e3, paper["luts"] / 1e3, "luts"),
+                cell(row.per_block.ffs / 1e3, paper["ffs"] / 1e3, "ffs"),
+                cell(to_mbit(row.per_block.bram_bits), paper["bram_mb"], "bram_bits"),
+                cell(to_mbit(row.per_block.uram_bits), paper["uram_mb"], "uram_bits"),
+                cell(row.per_block.dsps, paper["dsps"], "dsps"),
+                f"{to_mhz(row.frequency_hz):.0f}",
+                f"{row.per_block_tflops:.2f} [paper {paper['tflops']}]",
+            ]
+        )
+    return format_table(
+        [
+            "Device", "#Blocks", "kLUTs", "kDFFs", "BRAM(Mb)", "URAM(Mb)",
+            "DSPs", "Freq(MHz)", "TFLOPS/block",
+        ],
+        body,
+        title="Table 3: one virtual block of the decomposed accelerator",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run_table3()))

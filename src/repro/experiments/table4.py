@@ -1,0 +1,150 @@
+"""Table 4 — single-FPGA LSTM/GRU inference latency: baseline vs this work.
+
+For each of the paper's seven DeepBench configurations and each device, the
+driver measures:
+
+* the *baseline* latency — the model's program on the device-matched
+  bare-metal accelerator instance;
+* *this work* — the same instance deployed through the HS abstraction (the
+  decomposed design compiled onto virtual blocks, paying the
+  latency-insensitive interface and controller costs);
+* the overhead percentage (the paper reports 3.8%-8.4%).
+
+The LSTM h=1536 row on the XCKU115 reproduces the paper's dash: the model's
+weights exceed what the instance can serve on that device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import BW_K115, BW_V37, CONTROL_MODULES, CycleModel, generate_accelerator
+from ..accel.timing import ModelDoesNotFitError, VirtualizationContext
+from ..core import decompose, partition
+from ..units import to_ms
+from ..vital import VitalCompiler
+from ..vital.device import DEVICE_TYPES
+from ..workloads.deepbench import TABLE4_BENCHMARKS, ModelSpec
+from .report import format_table
+
+#: The paper's Table 4 (latency in ms; None = cannot fit).
+PAPER_TABLE4 = {
+    ("gru-h512-t1", "XCVU37P"): (0.0131, 0.0136, 0.038),
+    ("gru-h512-t1", "XCKU115"): (0.0227, 0.0236, 0.039),
+    ("gru-h1024-t1500", "XCVU37P"): (5.01, 5.4, 0.078),
+    ("gru-h1024-t1500", "XCKU115"): (18.5, 19.9, 0.078),
+    ("gru-h1536-t375", "XCVU37P"): (1.83, 1.96, 0.075),
+    ("gru-h1536-t375", "XCKU115"): (6.91, 7.43, 0.075),
+    ("lstm-h256-t150", "XCVU37P"): (0.726, 0.767, 0.057),
+    ("lstm-h256-t150", "XCKU115"): (1.31, 1.38, 0.056),
+    ("lstm-h512-t25", "XCVU37P"): (0.129, 0.136, 0.053),
+    ("lstm-h512-t25", "XCKU115"): (0.232, 0.245, 0.053),
+    ("lstm-h1024-t25", "XCVU37P"): (0.146, 0.157, 0.070),
+    ("lstm-h1024-t25", "XCKU115"): (0.263, 0.282, 0.071),
+    ("lstm-h1536-t50", "XCVU37P"): (0.238, 0.258, 0.084),
+    ("lstm-h1536-t50", "XCKU115"): None,
+}
+
+_INSTANCES = {"XCVU37P": BW_V37, "XCKU115": BW_K115}
+
+
+@dataclass
+class Table4Row:
+    """Latency of one benchmark on one device, both deployments."""
+
+    model: ModelSpec
+    device: str
+    baseline_s: float | None
+    virtualized_s: float | None
+    overhead: float | None
+    paper: tuple | None
+
+    @property
+    def fits(self) -> bool:
+        return self.baseline_s is not None
+
+
+def _virtual_blocks_for(config) -> int:
+    """Compile the instance through the framework to get its block count."""
+    decomposed = decompose(generate_accelerator(config), CONTROL_MODULES)
+    tree = partition(decomposed, iterations=0)
+    device_name = {"BW-V37": "XCVU37P", "BW-K115": "XCKU115"}[config.name]
+    compiler = VitalCompiler(devices={device_name: DEVICE_TYPES[device_name]})
+    compiled = compiler.compile_accelerator(decomposed, tree)
+    option = compiled.mapping.sorted_options()[0]
+    return option.images[option.cluster_indices[0]][device_name].virtual_blocks
+
+
+def run_table4(benchmarks=TABLE4_BENCHMARKS) -> list:
+    """Measure every benchmark on both devices."""
+    blocks = {name: _virtual_blocks_for(cfg) for name, cfg in _INSTANCES.items()}
+    rows = []
+    for spec in benchmarks:
+        program = spec.program()
+        for device_name, config in _INSTANCES.items():
+            instance = config.with_frequency(DEVICE_TYPES[device_name].frequency_hz)
+            model = CycleModel(instance)
+            paper = PAPER_TABLE4.get((spec.key, device_name))
+            try:
+                base = model.latency(program)
+                virt = model.latency(
+                    program,
+                    virtualization=VirtualizationContext(blocks[device_name]),
+                )
+                rows.append(
+                    Table4Row(
+                        model=spec,
+                        device=device_name,
+                        baseline_s=base.seconds,
+                        virtualized_s=virt.seconds,
+                        overhead=virt.seconds / base.seconds - 1.0,
+                        paper=paper,
+                    )
+                )
+            except ModelDoesNotFitError:
+                rows.append(
+                    Table4Row(
+                        model=spec,
+                        device=device_name,
+                        baseline_s=None,
+                        virtualized_s=None,
+                        overhead=None,
+                        paper=paper,
+                    )
+                )
+    return rows
+
+
+def render(rows: list) -> str:
+    body = []
+    for row in rows:
+        if not row.fits:
+            paper_note = "(paper: -)" if row.paper is None else "(paper had a value!)"
+            body.append(
+                [row.model.key, row.device, "-", "-", "-", paper_note]
+            )
+            continue
+        paper_text = (
+            f"paper {row.paper[0]}/{row.paper[1]} ms, {row.paper[2] * 100:.1f}%"
+            if row.paper
+            else ""
+        )
+        body.append(
+            [
+                row.model.key,
+                row.device,
+                f"{to_ms(row.baseline_s):.4g}",
+                f"{to_ms(row.virtualized_s):.4g}",
+                f"{row.overhead * 100:.1f}%",
+                paper_text,
+            ]
+        )
+    return format_table(
+        ["Benchmark", "Device", "Baseline(ms)", "This work(ms)", "Overhead", "Reference"],
+        body,
+        title="Table 4: LSTM/GRU inference latency",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(render(run_table4()))

@@ -1,0 +1,176 @@
+"""Two-pass text assembler and disassembler.
+
+Grammar (one instruction per line, ``;`` comments)::
+
+    v_rd   vDST, ADDR, LEN
+    v_wr   vSRC, ADDR, LEN
+    m_rd   mDST, ADDR, LEN          ; LEN = rows*cols words
+    mv_mul vDST, mSRC, vSRC, LEN    ; LEN = output rows
+    vv_add vDST, vA, vB, LEN        ; likewise vv_sub / vv_mul / v_concat
+    v_sigm vDST, vSRC, LEN          ; likewise v_tanh / v_relu / v_copy
+    v_fill vDST, VALUE, LEN
+    v_slice vDST, vSRC, OFFSET, LEN
+    loop   COUNT
+    endloop
+    nop / halt
+
+Addresses accept decimal, ``0x`` hex, or the symbol ``SYNC`` (+offset) for
+the inter-FPGA synchronisation window.  ``disassemble`` is the exact inverse
+via :meth:`Instruction.render`.
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblerError
+from .instructions import Instruction, Op, SYNC_ADDRESS
+from .program import Program
+
+_THREE_REG = {"vv_add": Op.VV_ADD, "vv_sub": Op.VV_SUB, "vv_mul": Op.VV_MUL,
+              "v_concat": Op.V_CONCAT}
+_TWO_REG = {"v_sigm": Op.V_SIGM, "v_tanh": Op.V_TANH, "v_relu": Op.V_RELU,
+            "v_copy": Op.V_COPY}
+
+
+def _parse_reg(token: str, prefix: str, line: int) -> int:
+    token = token.strip()
+    if not token.startswith(prefix):
+        raise AssemblerError(f"expected {prefix}-register, found {token!r}", line)
+    try:
+        return int(token[len(prefix):])
+    except ValueError:
+        raise AssemblerError(f"bad register {token!r}", line) from None
+
+
+def _parse_addr(token: str, line: int) -> int:
+    token = token.strip()
+    if token.upper().startswith("SYNC"):
+        rest = token[4:].strip()
+        offset = 0
+        if rest.startswith("+"):
+            offset = _parse_int(rest[1:], line)
+        return SYNC_ADDRESS + offset
+    return _parse_int(token, line)
+
+
+def _parse_int(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad integer {token!r}", line) from None
+
+
+def _parse_float(token: str, line: int) -> float:
+    try:
+        return float(token.strip())
+    except ValueError:
+        raise AssemblerError(f"bad number {token!r}", line) from None
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble text into a validated :class:`Program`."""
+    program = Program(name=name)
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = [p.strip() for p in parts[1].split(",")] if len(parts) > 1 else []
+        program.append(_assemble_one(mnemonic, operands, line_no))
+    program.validate()
+    return program
+
+
+def _assemble_one(mnemonic: str, ops: list, line: int) -> Instruction:
+    def need(count: int) -> None:
+        if len(ops) != count:
+            raise AssemblerError(
+                f"{mnemonic} expects {count} operands, got {len(ops)}", line
+            )
+
+    if mnemonic == "nop":
+        need(0)
+        return Instruction(Op.NOP)
+    if mnemonic == "halt":
+        need(0)
+        return Instruction(Op.HALT)
+    if mnemonic == "endloop":
+        need(0)
+        return Instruction(Op.ENDLOOP)
+    if mnemonic == "loop":
+        need(1)
+        return Instruction(Op.LOOP, imm=float(_parse_int(ops[0], line)))
+    if mnemonic == "v_rd":
+        need(3)
+        return Instruction(
+            Op.V_RD,
+            dst=_parse_reg(ops[0], "v", line),
+            addr=_parse_addr(ops[1], line),
+            length=_parse_int(ops[2], line),
+        )
+    if mnemonic == "v_wr":
+        need(3)
+        return Instruction(
+            Op.V_WR,
+            a=_parse_reg(ops[0], "v", line),
+            addr=_parse_addr(ops[1], line),
+            length=_parse_int(ops[2], line),
+        )
+    if mnemonic == "m_rd":
+        need(3)
+        return Instruction(
+            Op.M_RD,
+            dst=_parse_reg(ops[0], "m", line),
+            addr=_parse_addr(ops[1], line),
+            length=_parse_int(ops[2], line),
+        )
+    if mnemonic == "mv_mul":
+        need(4)
+        return Instruction(
+            Op.MV_MUL,
+            dst=_parse_reg(ops[0], "v", line),
+            ma=_parse_reg(ops[1], "m", line),
+            a=_parse_reg(ops[2], "v", line),
+            length=_parse_int(ops[3], line),
+        )
+    if mnemonic in _THREE_REG:
+        need(4)
+        return Instruction(
+            _THREE_REG[mnemonic],
+            dst=_parse_reg(ops[0], "v", line),
+            a=_parse_reg(ops[1], "v", line),
+            b=_parse_reg(ops[2], "v", line),
+            length=_parse_int(ops[3], line),
+        )
+    if mnemonic in _TWO_REG:
+        need(3)
+        return Instruction(
+            _TWO_REG[mnemonic],
+            dst=_parse_reg(ops[0], "v", line),
+            a=_parse_reg(ops[1], "v", line),
+            length=_parse_int(ops[2], line),
+        )
+    if mnemonic == "v_fill":
+        need(3)
+        return Instruction(
+            Op.V_FILL,
+            dst=_parse_reg(ops[0], "v", line),
+            imm=_parse_float(ops[1], line),
+            length=_parse_int(ops[2], line),
+        )
+    if mnemonic == "v_slice":
+        need(4)
+        return Instruction(
+            Op.V_SLICE,
+            dst=_parse_reg(ops[0], "v", line),
+            a=_parse_reg(ops[1], "v", line),
+            imm=float(_parse_int(ops[2], line)),
+            length=_parse_int(ops[3], line),
+        )
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line)
+
+
+def disassemble(program: Program) -> str:
+    """Render a program back to assembly text."""
+    return program.render()

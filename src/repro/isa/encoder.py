@@ -1,0 +1,119 @@
+"""Fixed-width binary encoding.
+
+Each instruction encodes into one 128-bit word (16 bytes, little-endian):
+
+===========  ======  ==========================================
+field        bits    notes
+===========  ======  ==========================================
+opcode       8       index into the :class:`Op` table
+dst          8       register index (0xFF = unused)
+a            8       register index (0xFF = unused)
+b            8       register index (0xFF = unused)
+ma           8       matrix register index (0xFF = unused)
+reserved     8
+length       16      vector length in elements
+addr         32      DRAM word address
+imm          32      IEEE-754 float32
+===========  ======  ==========================================
+
+The compact 128-bit format matters to the paper's story: the AS ISA keeps
+code small enough that whole LSTM/GRU programs fit in the on-chip
+instruction buffer, avoiding DRAM contention (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import EncodingError
+from .instructions import Instruction, Op
+from .program import Program
+
+#: Bytes per encoded instruction.
+INSTRUCTION_BYTES = 16
+
+_OPCODES = {op: index for index, op in enumerate(Op)}
+_BY_INDEX = {index: op for op, index in _OPCODES.items()}
+
+_STRUCT = struct.Struct("<BBBBBBHIf")
+_UNUSED = 0xFF
+
+
+def _field(value: int, name: str, maximum: int) -> int:
+    if value < 0:
+        return _UNUSED
+    if value > maximum:
+        raise EncodingError(f"{name}={value} exceeds encodable maximum {maximum}")
+    return value
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode one instruction to 16 bytes."""
+    if inst.length > 0xFFFF:
+        raise EncodingError(f"length {inst.length} exceeds 16-bit field")
+    if inst.addr > 0xFFFFFFFF:
+        raise EncodingError(f"address 0x{inst.addr:x} exceeds 32-bit field")
+    if inst.op is Op.LOOP:
+        # Loop trip counts ride in the addr field to keep imm a pure float.
+        return _STRUCT.pack(
+            _OPCODES[inst.op], _UNUSED, _UNUSED, _UNUSED, _UNUSED, 0,
+            0, int(inst.imm), 0.0,
+        )
+    return _STRUCT.pack(
+        _OPCODES[inst.op],
+        _field(inst.dst, "dst", 0xFE),
+        _field(inst.a, "a", 0xFE),
+        _field(inst.b, "b", 0xFE),
+        _field(inst.ma, "ma", 0xFE),
+        0,
+        inst.length,
+        max(inst.addr, 0),
+        float(inst.imm),
+    )
+
+
+def decode_instruction(blob: bytes) -> Instruction:
+    """Decode 16 bytes back into an instruction."""
+    if len(blob) != INSTRUCTION_BYTES:
+        raise EncodingError(
+            f"expected {INSTRUCTION_BYTES} bytes, got {len(blob)}"
+        )
+    opcode, dst, a, b, ma, _res, length, addr, imm = _STRUCT.unpack(blob)
+    op = _BY_INDEX.get(opcode)
+    if op is None:
+        raise EncodingError(f"unknown opcode byte 0x{opcode:02x}")
+
+    def reg(value: int) -> int:
+        return -1 if value == _UNUSED else value
+
+    if op is Op.LOOP:
+        return Instruction(Op.LOOP, imm=float(addr))
+    has_addr = op in (Op.V_RD, Op.V_WR, Op.M_RD)
+    return Instruction(
+        op,
+        dst=reg(dst),
+        a=reg(a),
+        b=reg(b),
+        ma=reg(ma),
+        addr=addr if has_addr else -1,
+        imm=imm,
+        length=length,
+    )
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program; the result is what the instruction buffer
+    stores (its size gates the buffer-capacity check in the accelerator)."""
+    return b"".join(encode_instruction(inst) for inst in program)
+
+
+def decode_program(blob: bytes, name: str = "decoded") -> Program:
+    """Decode bytes produced by :func:`encode_program`."""
+    if len(blob) % INSTRUCTION_BYTES != 0:
+        raise EncodingError(
+            f"byte length {len(blob)} is not a multiple of {INSTRUCTION_BYTES}"
+        )
+    program = Program(name=name)
+    for offset in range(0, len(blob), INSTRUCTION_BYTES):
+        program.append(decode_instruction(blob[offset : offset + INSTRUCTION_BYTES]))
+    return program

@@ -1,0 +1,38 @@
+"""Throughput accounting helpers for the system evaluation."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+def aggregate_throughput(results: dict) -> dict:
+    """Tasks/second per workload set from :class:`SimulationResult` values."""
+    return {key: result.throughput for key, result in results.items()}
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """Throughput ratio candidate/baseline (the Fig. 12 bar heights)."""
+    if baseline <= 0:
+        raise ReproError("baseline throughput must be positive")
+    return candidate / baseline
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the conventional average for speedups)."""
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values) -> float:
+    """Plain average (the paper reports average throughput improvement)."""
+    values = list(values)
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)

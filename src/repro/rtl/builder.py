@@ -1,0 +1,142 @@
+"""Fluent construction helpers for structural designs.
+
+Generators (notably :mod:`repro.accel.generator`) build fairly large module
+graphs; these builders keep that code declarative and catch wiring mistakes
+(duplicate names, unknown nets) at construction time rather than at
+validation time.
+"""
+
+from __future__ import annotations
+
+from ..errors import RTLValidationError
+from .ir import Design, Direction, Instance, Module
+
+
+class ModuleBuilder:
+    """Incrementally builds one :class:`~repro.rtl.ir.Module`.
+
+    Example::
+
+        m = ModuleBuilder("adder_stage")
+        m.inputs(("a", 16), ("b", 16)).outputs(("y", 16))
+        m.instance("add0", "FP16_ADD", a="a", b="b", y="y")
+        module = m.build()
+    """
+
+    def __init__(self, name: str, attributes: dict | None = None):
+        self._module = Module(name, attributes)
+        self._built = False
+
+    # -- ports ---------------------------------------------------------------
+
+    def inputs(self, *specs) -> "ModuleBuilder":
+        """Declare input ports from ``name`` or ``(name, width)`` specs."""
+        return self._add_ports(Direction.INPUT, specs)
+
+    def outputs(self, *specs) -> "ModuleBuilder":
+        """Declare output ports from ``name`` or ``(name, width)`` specs."""
+        return self._add_ports(Direction.OUTPUT, specs)
+
+    def _add_ports(self, direction: Direction, specs) -> "ModuleBuilder":
+        self._check_open()
+        for spec in specs:
+            if isinstance(spec, str):
+                name, width = spec, 1
+            else:
+                name, width = spec
+            self._module.add_port(name, direction, width)
+        return self
+
+    # -- nets / instances ------------------------------------------------------
+
+    def net(self, name: str, width: int = 1) -> "ModuleBuilder":
+        """Declare an internal net."""
+        self._check_open()
+        self._module.add_net(name, width)
+        return self
+
+    def nets(self, *specs) -> "ModuleBuilder":
+        """Declare several nets from ``name`` or ``(name, width)`` specs."""
+        self._check_open()
+        for spec in specs:
+            if isinstance(spec, str):
+                self._module.add_net(spec)
+            else:
+                self._module.add_net(*spec)
+        return self
+
+    def instance(
+        self, name: str, module_name: str, parameters: dict | None = None, **connections
+    ) -> Instance:
+        """Add an instance; keyword args are port→net connections.
+
+        Connections must reference already-declared nets (or implicit port
+        nets) so that typos surface immediately.
+        """
+        self._check_open()
+        for net_name in connections.values():
+            if net_name not in self._module.nets:
+                raise RTLValidationError(
+                    f"instance {name!r} in {self._module.name!r} connects to "
+                    f"undeclared net {net_name!r}"
+                )
+        return self._module.add_instance(name, module_name, connections, parameters)
+
+    def assign(self, target: str, source: str) -> "ModuleBuilder":
+        """Add a continuous assignment between declared nets."""
+        self._check_open()
+        for net_name in (target, source):
+            if net_name not in self._module.nets:
+                raise RTLValidationError(
+                    f"assign in {self._module.name!r} references undeclared "
+                    f"net {net_name!r}"
+                )
+        self._module.add_assign(target, source)
+        return self
+
+    def attribute(self, key: str, value) -> "ModuleBuilder":
+        """Attach free-form metadata to the module."""
+        self._check_open()
+        self._module.attributes[key] = value
+        return self
+
+    # -- finish -------------------------------------------------------------------
+
+    def build(self) -> Module:
+        """Finalize and return the module; the builder becomes read-only."""
+        self._built = True
+        return self._module
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise RTLValidationError(
+                f"ModuleBuilder for {self._module.name!r} already built"
+            )
+
+
+class DesignBuilder:
+    """Builds a :class:`~repro.rtl.ir.Design` from module builders/modules."""
+
+    def __init__(self, name: str):
+        self._design = Design(name)
+
+    def module(self, name: str, attributes: dict | None = None) -> ModuleBuilder:
+        """Start a new module builder whose result is auto-registered."""
+        builder = ModuleBuilder(name, attributes)
+        # Register eagerly so recursive generators can reference the module.
+        self._design.add_module(builder._module)
+        return builder
+
+    def add(self, module: Module) -> "DesignBuilder":
+        """Register a pre-built module."""
+        self._design.add_module(module)
+        return self
+
+    def top(self, name: str) -> "DesignBuilder":
+        """Set the top module."""
+        self._design.top = name
+        return self
+
+    def build(self) -> Design:
+        """Return the design (validation is the caller's choice)."""
+        return self._design

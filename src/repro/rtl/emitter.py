@@ -1,0 +1,99 @@
+"""Emit structural Verilog text from the IR.
+
+The emitter and :mod:`repro.rtl.parser` round-trip: ``parse(emit(design))``
+reconstructs an equivalent design.  This is used to exchange generated
+accelerators with external tools and by the tests as a serialization check.
+"""
+
+from __future__ import annotations
+
+from .ir import Design, Direction, Module
+
+_DIRECTION_KEYWORD = {
+    Direction.INPUT: "input",
+    Direction.OUTPUT: "output",
+    Direction.INOUT: "inout",
+}
+
+
+def _range_of(width: int) -> str:
+    return f" [{width - 1}:0]" if width > 1 else ""
+
+
+def emit_module(module: Module) -> str:
+    """Render one module as structural Verilog."""
+    lines: list[str] = []
+    if module.attributes:
+        rendered = ", ".join(
+            f'{key} = "{value}"' for key, value in sorted(module.attributes.items())
+            if isinstance(value, (str, int, float, bool))
+        )
+        if rendered:
+            lines.append(f"(* {rendered} *)")
+
+    port_names = ", ".join(module.ports)
+    lines.append(f"module {module.name} ({port_names});")
+
+    for port in module.ports.values():
+        keyword = _DIRECTION_KEYWORD[port.direction]
+        lines.append(f"  {keyword}{_range_of(port.width)} {port.name};")
+
+    for net in module.nets.values():
+        if net.name in module.ports:
+            continue  # implicit port net
+        lines.append(f"  wire{_range_of(net.width)} {net.name};")
+
+    for assign in module.assigns:
+        lines.append(f"  assign {assign.target} = {assign.source};")
+
+    for inst in module.instances.values():
+        params = ""
+        if inst.parameters:
+            rendered = ", ".join(
+                f".{key}({_render_param(value)})"
+                for key, value in inst.parameters.items()
+            )
+            params = f" #({rendered})"
+        conns = ", ".join(
+            f".{port}({net})" for port, net in inst.connections.items()
+        )
+        lines.append(f"  {inst.module_name}{params} {inst.name} ({conns});")
+
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _render_param(value) -> str:
+    if isinstance(value, str):
+        return f'"{value}"'
+    return str(value)
+
+
+def emit_design(design: Design) -> str:
+    """Render all modules, dependencies first, top module last.
+
+    The ordering makes the file valid for single-pass tools and makes the
+    parser's "last module is top" convention reconstruct the right top.
+    """
+    emitted: list[str] = []
+    done: set = set()
+
+    def visit(name: str) -> None:
+        if name in done or not design.has_module(name):
+            return
+        done.add(name)
+        for dep in sorted(design.submodule_names(name)):
+            visit(dep)
+        emitted.append(emit_module(design.require_module(name)))
+
+    # Emit unreachable modules too, before the top's cone.
+    reachable = set(design.reachable_modules())
+    for name in design.modules:
+        if name not in reachable:
+            visit(name)
+    for name in design.reachable_modules()[::-1]:
+        visit(name)
+    # ``visit`` appends dependencies first; ensure top is last.
+    top_text = emit_module(design.top_module)
+    emitted = [text for text in emitted if text != top_text] + [top_text]
+    return "\n\n".join(emitted) + "\n"

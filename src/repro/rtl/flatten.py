@@ -1,0 +1,107 @@
+"""Design flattening: elaborate a hierarchy down to primitive cells.
+
+Supports the decomposer's step-1 fallback (paper Section 2.2.1): "if the
+input RTL design contains large basic modules, the primitives in these
+modules (e.g., logic gates and flip-flops) will be extracted and each of
+them will be assigned to one soft block."  Flattening also serves external
+netlist-level interchange and tests.
+
+The flattened design has a single module whose instances are primitive
+cells with hierarchical names (``lane0/sa/mac0``); internal nets of nested
+modules get hierarchical names too, and connections through module ports
+are resolved transitively (including ``assign`` aliases).
+"""
+
+from __future__ import annotations
+
+from ..errors import RTLValidationError
+from . import primitives
+from .ir import Design, Module
+
+
+def flatten_to_primitives(design: Design, root: str | None = None) -> Design:
+    """Return a new single-module design containing only primitive cells.
+
+    Port directions and widths of the root module are preserved; every
+    primitive instance keeps its hierarchical path as its name.
+    """
+    root = root or design.top
+    root_module = design.require_module(root)
+
+    flat = Design(f"{design.name}.flat")
+    out = Module(root)
+    for port in root_module.ports.values():
+        out.add_port(port.name, port.direction, port.width)
+    flat.add_module(out)
+    flat.top = root
+
+    def ensure_net(name: str, width: int) -> str:
+        if name not in out.nets:
+            out.add_net(name, width)
+        elif out.nets[name].width != width:
+            raise RTLValidationError(
+                f"flatten: net {name!r} used at widths "
+                f"{out.nets[name].width} and {width}"
+            )
+        return name
+
+    def walk(module_name: str, path: str, net_map: dict) -> None:
+        module = design.require_module(module_name)
+
+        alias = {a.target: a.source for a in module.assigns}
+
+        def resolve(local_net: str) -> tuple:
+            seen = set()
+            while local_net in alias and local_net not in seen:
+                seen.add(local_net)
+                local_net = alias[local_net]
+            if local_net in net_map:
+                return net_map[local_net]
+            width = module.nets[local_net].width if local_net in module.nets else 1
+            global_name = f"{path}/{local_net}" if path else local_net
+            return (global_name, width)
+
+        for inst in module.instances.values():
+            child_path = f"{path}/{inst.name}" if path else inst.name
+            if primitives.is_primitive(inst.module_name):
+                connections = {}
+                cell = primitives.lookup(inst.module_name)
+                for port_name, net_name in inst.connections.items():
+                    global_name, width = resolve(net_name)
+                    port = cell.ports.get(port_name)
+                    if port is not None:
+                        width = port.width if net_name not in module.nets else max(
+                            width, 1
+                        )
+                    connections[port_name] = ensure_net(
+                        global_name,
+                        module.nets[net_name].width
+                        if net_name in module.nets
+                        else (port.width if port else 1),
+                    )
+                out.add_instance(child_path, inst.module_name, connections)
+                continue
+            child = design.require_module(inst.module_name)
+            child_map = {}
+            for port_name, net_name in inst.connections.items():
+                if port_name in child.ports:
+                    child_map[port_name] = resolve(net_name)
+            walk(inst.module_name, child_path, child_map)
+
+    root_map = {
+        port.name: (port.name, port.width)
+        for port in root_module.ports.values()
+    }
+    for port in root_module.ports.values():
+        ensure_net(port.name, port.width)
+    walk(root, "", root_map)
+    return flat
+
+
+def primitive_census(design: Design, root: str | None = None) -> dict:
+    """Count primitive cells by type under ``root`` (after flattening)."""
+    flat = flatten_to_primitives(design, root)
+    census: dict[str, int] = {}
+    for inst in flat.top_module.instances.values():
+        census[inst.module_name] = census.get(inst.module_name, 0) + 1
+    return census

@@ -1,0 +1,301 @@
+"""A parser for the structural Verilog subset emitted by this library.
+
+The paper performs decomposition "at the intermediate RTL level"; in practice
+that means consuming the (often machine-generated) structural Verilog that an
+HLS tool or synthesis front-end produces.  This parser accepts the subset the
+emitter (:mod:`repro.rtl.emitter`) produces, which is also the common shape
+of generated structural RTL:
+
+* ``module name (p0, p1, ...);`` or ANSI headers
+  ``module name (input [7:0] a, output y);``
+* ``input``/``output``/``inout`` declarations with optional ``[msb:lsb]``
+* ``wire`` declarations
+* module/primitive instantiations with named connections and optional
+  ``#(.P(value))`` parameter overrides
+* ``assign lhs = rhs;`` between whole nets
+* ``(* key = "value" *)`` attribute annotations before a module
+
+Everything behavioural (``always``, expressions) is rejected with a clear
+:class:`~repro.errors.RTLParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import RTLParseError
+from .ir import Design, Direction, Module
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<attr>\(\*.*?\*\))
+  | (?P<id>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<number>[0-9]+(?:'[bdh][0-9a-fA-F_xzXZ]+)?)
+  | (?P<string>"[^"]*")
+  | (?P<sym>[()\[\]{},;:=#.])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_DIRECTIONS = {
+    "input": Direction.INPUT,
+    "output": Direction.OUTPUT,
+    "inout": Direction.INOUT,
+}
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"_Token({self.kind}, {self.text!r}, line={self.line})"
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise RTLParseError(f"unexpected character {source[pos]!r}", line)
+        kind = match.lastgroup
+        text = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(_Token(kind, text, line))
+        line += text.count("\n")
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], design_name: str):
+        self.tokens = tokens
+        self.pos = 0
+        self.design = Design(design_name)
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise RTLParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise RTLParseError(f"expected {text!r}, found {token.text!r}", token.line)
+        return token
+
+    def expect_id(self) -> _Token:
+        token = self.next()
+        if token.kind != "id":
+            raise RTLParseError(f"expected identifier, found {token.text!r}", token.line)
+        return token
+
+    def accept(self, text: str) -> bool:
+        token = self.peek()
+        if token is not None and token.text == text:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse(self) -> Design:
+        pending_attrs: dict = {}
+        while self.peek() is not None:
+            token = self.peek()
+            if token.kind == "attr":
+                pending_attrs.update(self._parse_attribute(self.next()))
+                continue
+            if token.text == "module":
+                module = self._parse_module(pending_attrs)
+                pending_attrs = {}
+                self.design.add_module(module)
+                # Last module in the file is the default top; callers can
+                # override after parsing.
+                self.design.top = module.name
+            else:
+                raise RTLParseError(
+                    f"expected 'module', found {token.text!r}", token.line
+                )
+        if not self.design.modules:
+            raise RTLParseError("no modules found in source")
+        return self.design
+
+    @staticmethod
+    def _parse_attribute(token: _Token) -> dict:
+        body = token.text[2:-2].strip()
+        attrs = {}
+        for clause in body.split(","):
+            if "=" in clause:
+                key, value = clause.split("=", 1)
+                attrs[key.strip()] = value.strip().strip('"')
+            elif clause.strip():
+                attrs[clause.strip()] = True
+        return attrs
+
+    def _parse_range(self) -> int:
+        """Parse an optional ``[msb:lsb]``; returns the width."""
+        if not self.accept("["):
+            return 1
+        msb = int(self.next().text)
+        self.expect(":")
+        lsb = int(self.next().text)
+        self.expect("]")
+        return abs(msb - lsb) + 1
+
+    def _parse_module(self, attributes: dict) -> Module:
+        self.expect("module")
+        name_token = self.expect_id()
+        module = Module(name_token.text, attributes)
+        header_order: list[str] = []
+
+        if self.accept("("):
+            if not self.accept(")"):
+                while True:
+                    token = self.peek()
+                    if token is not None and token.text in _DIRECTIONS:
+                        # ANSI-style header port.
+                        direction = _DIRECTIONS[self.next().text]
+                        self.accept("wire")
+                        width = self._parse_range()
+                        port_name = self.expect_id().text
+                        module.add_port(port_name, direction, width)
+                    else:
+                        header_order.append(self.expect_id().text)
+                    if self.accept(")"):
+                        break
+                    self.expect(",")
+        self.expect(";")
+
+        while not self.accept("endmodule"):
+            token = self.peek()
+            if token is None:
+                raise RTLParseError(
+                    f"unterminated module {module.name!r}", name_token.line
+                )
+            if token.text in _DIRECTIONS:
+                self._parse_port_decl(module)
+            elif token.text == "wire":
+                self._parse_wire_decl(module)
+            elif token.text == "assign":
+                self._parse_assign(module)
+            elif token.kind == "id":
+                self._parse_instance(module)
+            else:
+                raise RTLParseError(
+                    f"unexpected {token.text!r} in module body", token.line
+                )
+
+        missing = [p for p in header_order if p not in module.ports]
+        if missing:
+            raise RTLParseError(
+                f"module {module.name!r} header lists undeclared ports {missing}",
+                name_token.line,
+            )
+        return module
+
+    def _parse_port_decl(self, module: Module) -> None:
+        direction = _DIRECTIONS[self.next().text]
+        self.accept("wire")
+        width = self._parse_range()
+        while True:
+            port_name = self.expect_id().text
+            module.add_port(port_name, direction, width)
+            if self.accept(";"):
+                return
+            self.expect(",")
+
+    def _parse_wire_decl(self, module: Module) -> None:
+        self.expect("wire")
+        width = self._parse_range()
+        while True:
+            net_name = self.expect_id().text
+            if net_name not in module.nets:
+                module.add_net(net_name, width)
+            if self.accept(";"):
+                return
+            self.expect(",")
+
+    def _parse_assign(self, module: Module) -> None:
+        self.expect("assign")
+        target = self.expect_id().text
+        self.expect("=")
+        source_token = self.next()
+        if source_token.kind not in ("id", "number"):
+            raise RTLParseError(
+                "only net-to-net assigns are supported "
+                f"(found {source_token.text!r})",
+                source_token.line,
+            )
+        self.expect(";")
+        for net_name in (target, source_token.text):
+            if source_token.kind == "number" and net_name == source_token.text:
+                continue  # constant drivers are allowed and untracked
+            if net_name not in module.nets:
+                module.add_net(net_name)
+        if source_token.kind == "id":
+            module.add_assign(target, source_token.text)
+
+    def _parse_instance(self, module: Module) -> None:
+        module_name = self.expect_id().text
+        parameters: dict = {}
+        if self.accept("#"):
+            self.expect("(")
+            while not self.accept(")"):
+                self.expect(".")
+                key = self.expect_id().text
+                self.expect("(")
+                value_token = self.next()
+                parameters[key] = _literal(value_token)
+                self.expect(")")
+                self.accept(",")
+        inst_name = self.expect_id().text
+        self.expect("(")
+        connections: dict = {}
+        while not self.accept(")"):
+            self.expect(".")
+            port_name = self.expect_id().text
+            self.expect("(")
+            net_token = self.expect_id()
+            self.expect(")")
+            connections[port_name] = net_token.text
+            if net_token.text not in module.nets:
+                module.add_net(net_token.text)
+            self.accept(",")
+        self.expect(";")
+        module.add_instance(inst_name, module_name, connections, parameters)
+
+
+def _literal(token: _Token):
+    """Convert a parameter token into int/str."""
+    if token.kind == "number" and "'" not in token.text:
+        return int(token.text)
+    if token.kind == "string":
+        return token.text.strip('"')
+    return token.text
+
+
+def parse_design(source: str, name: str = "parsed") -> Design:
+    """Parse structural Verilog text into a :class:`~repro.rtl.ir.Design`.
+
+    The last module in the file becomes the top module; set ``design.top``
+    afterwards to override.
+    """
+    return _Parser(_tokenize(source), name).parse()

@@ -1,0 +1,244 @@
+"""Primitive cell library.
+
+Primitives are leaf cells that may appear inside *basic modules* (the
+paper's term for a Verilog module that instantiates no other modules — gates
+and flip-flops inside it do not break basic-ness).  Each primitive carries:
+
+* a fixed port map, so connectivity through primitives can be analysed, and
+* a :class:`~repro.resources.ResourceVector` cost, which the resource
+  estimator sums to approximate post-synthesis utilisation.
+
+The library is intentionally FPGA-*independent* at the RTL level — the same
+primitive maps to different physical resources per device — but we keep a
+single representative cost per cell, calibrated so the generated
+BrainWave-like accelerator lands near the utilisation reported in Table 2 of
+the paper (see ``repro/accel/generator.py`` for the calibration notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..resources import ResourceVector
+from .ir import Direction, Port
+
+
+@dataclass(frozen=True)
+class PrimitiveCell:
+    """A leaf cell: name, port map and resource cost."""
+
+    name: str
+    ports: dict = field(default_factory=dict)
+    cost: ResourceVector = field(default_factory=ResourceVector.zero)
+    #: Family tag used by reports ("logic", "register", "dsp", "memory").
+    family: str = "logic"
+
+
+def _ports(*specs) -> dict:
+    """Helper: build a port dict from ``(name, direction, width)`` tuples."""
+    table = {}
+    for name, direction, width in specs:
+        table[name] = Port(name, direction, width)
+    return table
+
+
+_IN = Direction.INPUT
+_OUT = Direction.OUTPUT
+
+#: The primitive cell registry, keyed by cell name.
+REGISTRY: dict[str, PrimitiveCell] = {}
+
+
+def register(cell: PrimitiveCell) -> PrimitiveCell:
+    """Add a cell to the registry (idempotent for identical cells)."""
+    existing = REGISTRY.get(cell.name)
+    if existing is not None and existing != cell:
+        raise ValueError(f"conflicting registration for primitive {cell.name!r}")
+    REGISTRY[cell.name] = cell
+    return cell
+
+
+def lookup(name: str) -> PrimitiveCell | None:
+    """Find a primitive by name, or ``None`` when it is a regular module."""
+    return REGISTRY.get(name)
+
+
+def is_primitive(name: str) -> bool:
+    """True when ``name`` names a registered primitive cell."""
+    return name in REGISTRY
+
+
+# ---------------------------------------------------------------------------
+# Logic gates
+# ---------------------------------------------------------------------------
+
+for _gate in ("AND2", "OR2", "XOR2", "NAND2", "NOR2"):
+    register(
+        PrimitiveCell(
+            name=_gate,
+            ports=_ports(("a", _IN, 1), ("b", _IN, 1), ("y", _OUT, 1)),
+            cost=ResourceVector(luts=0.5),
+            family="logic",
+        )
+    )
+
+register(
+    PrimitiveCell(
+        name="NOT",
+        ports=_ports(("a", _IN, 1), ("y", _OUT, 1)),
+        cost=ResourceVector(luts=0.25),
+        family="logic",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="MUX2",
+        ports=_ports(("a", _IN, 1), ("b", _IN, 1), ("sel", _IN, 1), ("y", _OUT, 1)),
+        cost=ResourceVector(luts=0.5),
+        family="logic",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="LUT6",
+        ports=_ports(
+            ("i0", _IN, 1), ("i1", _IN, 1), ("i2", _IN, 1),
+            ("i3", _IN, 1), ("i4", _IN, 1), ("i5", _IN, 1), ("o", _OUT, 1),
+        ),
+        cost=ResourceVector(luts=1.0),
+        family="logic",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Registers
+# ---------------------------------------------------------------------------
+
+register(
+    PrimitiveCell(
+        name="DFF",
+        ports=_ports(("clk", _IN, 1), ("d", _IN, 1), ("q", _OUT, 1)),
+        cost=ResourceVector(ffs=1.0),
+        family="register",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="DFFE",
+        ports=_ports(("clk", _IN, 1), ("en", _IN, 1), ("d", _IN, 1), ("q", _OUT, 1)),
+        cost=ResourceVector(ffs=1.0, luts=0.1),
+        family="register",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Arithmetic macros (as inferred by synthesis)
+# ---------------------------------------------------------------------------
+
+register(
+    PrimitiveCell(
+        name="DSP_MAC",
+        ports=_ports(
+            ("clk", _IN, 1), ("a", _IN, 27), ("b", _IN, 18),
+            ("c", _IN, 48), ("p", _OUT, 48),
+        ),
+        cost=ResourceVector(dsps=1.0, luts=12.0, ffs=30.0),
+        family="dsp",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="INT_ADD",
+        ports=_ports(("a", _IN, 32), ("b", _IN, 32), ("y", _OUT, 32)),
+        cost=ResourceVector(luts=32.0, ffs=32.0),
+        family="logic",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="FP16_MUL",
+        ports=_ports(("clk", _IN, 1), ("a", _IN, 16), ("b", _IN, 16), ("y", _OUT, 16)),
+        cost=ResourceVector(dsps=1.0, luts=90.0, ffs=120.0),
+        family="dsp",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="FP16_ADD",
+        ports=_ports(("clk", _IN, 1), ("a", _IN, 16), ("b", _IN, 16), ("y", _OUT, 16)),
+        cost=ResourceVector(luts=220.0, ffs=180.0),
+        family="logic",
+    )
+)
+
+#: A block-floating-point multiply-accumulate lane: narrow integer mantissa
+#: multiply + shared exponent handling.  Cheap in LUTs, which is the whole
+#: point of BFP in BrainWave.
+register(
+    PrimitiveCell(
+        name="BFP_MAC",
+        ports=_ports(
+            ("clk", _IN, 1), ("a", _IN, 6), ("b", _IN, 6),
+            ("acc_in", _IN, 24), ("acc_out", _OUT, 24),
+        ),
+        cost=ResourceVector(luts=18.0, ffs=24.0, dsps=0.17),
+        family="dsp",
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Memory macros
+# ---------------------------------------------------------------------------
+
+register(
+    PrimitiveCell(
+        name="BRAM36",
+        ports=_ports(
+            ("clk", _IN, 1), ("we", _IN, 1),
+            ("addr_w", _IN, 9), ("addr_r", _IN, 9),
+            ("din", _IN, 72), ("dout", _OUT, 72),
+        ),
+        # A BRAM36 stores 36Kb (512 x 72b).
+        cost=ResourceVector(bram_bits=36.0 * 1024.0),
+        family="memory",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="URAM288",
+        ports=_ports(
+            ("clk", _IN, 1), ("we", _IN, 1),
+            ("addr_w", _IN, 12), ("addr_r", _IN, 12),
+            ("din", _IN, 72), ("dout", _OUT, 72),
+        ),
+        # A URAM288 stores 288Kb (4096 x 72b).
+        cost=ResourceVector(uram_bits=288.0 * 1024.0),
+        family="memory",
+    )
+)
+
+register(
+    PrimitiveCell(
+        name="FIFO",
+        ports=_ports(
+            ("clk", _IN, 1), ("push", _IN, 1), ("pop", _IN, 1),
+            ("din", _IN, 72), ("dout", _OUT, 72),
+            ("full", _OUT, 1), ("empty", _OUT, 1),
+        ),
+        cost=ResourceVector(bram_bits=18.0 * 1024.0, luts=60.0, ffs=80.0),
+        family="memory",
+    )
+)
+
+
+def cell_cost(name: str) -> ResourceVector:
+    """Resource cost of a primitive; zero for unknown names."""
+    cell = REGISTRY.get(name)
+    return cell.cost if cell is not None else ResourceVector.zero()

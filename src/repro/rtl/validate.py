@@ -1,0 +1,127 @@
+"""Design validation.
+
+Checks the structural invariants the downstream tools rely on.  Run this
+before decomposing: the decomposer assumes connection targets exist and
+that the hierarchy is acyclic.
+"""
+
+from __future__ import annotations
+
+from ..errors import RTLValidationError, UnknownModuleError
+from .ir import Design, Direction
+from . import primitives
+
+
+def validate_design(design: Design, allow_dangling: bool = True) -> list[str]:
+    """Validate a design; raises on hard errors, returns soft warnings.
+
+    Hard errors (raise :class:`RTLValidationError` /
+    :class:`UnknownModuleError`):
+
+    * missing top module
+    * instance of an unknown module/primitive
+    * connection to an undeclared net
+    * connection to a port the instantiated module does not have
+    * width mismatch between a port and its bound net
+    * cyclic module hierarchy
+
+    Soft warnings (returned): nets with multiple drivers, undriven output
+    ports, dangling nets (unless ``allow_dangling`` is False, in which case
+    they are hard errors).
+    """
+    warnings: list[str] = []
+    design.top_module  # raises when no top is set / top missing
+    _check_acyclic(design)
+
+    for module in design.iter_modules():
+        driver_count: dict[str, int] = {net: 0 for net in module.nets}
+        touched: set = set()
+
+        for assign in module.assigns:
+            for net_name in (assign.target, assign.source):
+                if net_name not in module.nets:
+                    raise RTLValidationError(
+                        f"{module.name}: assign references unknown net {net_name!r}"
+                    )
+            driver_count[assign.target] += 1
+            touched.update((assign.target, assign.source))
+
+        for inst in module.instances.values():
+            if not design.has_module(inst.module_name) and not primitives.is_primitive(
+                inst.module_name
+            ):
+                raise UnknownModuleError(
+                    f"{module.name}: instance {inst.name!r} references unknown "
+                    f"module {inst.module_name!r}"
+                )
+            ports = design.ports_of(inst.module_name)
+            for port_name, net_name in inst.connections.items():
+                if port_name not in ports:
+                    raise RTLValidationError(
+                        f"{module.name}: instance {inst.name!r} connects "
+                        f"missing port {port_name!r} of {inst.module_name!r}"
+                    )
+                if net_name not in module.nets:
+                    raise RTLValidationError(
+                        f"{module.name}: instance {inst.name!r} connects to "
+                        f"undeclared net {net_name!r}"
+                    )
+                port = ports[port_name]
+                net = module.nets[net_name]
+                if port.width != net.width:
+                    raise RTLValidationError(
+                        f"{module.name}: width mismatch on {inst.name}.{port_name} "
+                        f"({port.width}) vs net {net_name} ({net.width})"
+                    )
+                touched.add(net_name)
+                if port.direction is Direction.OUTPUT:
+                    driver_count[net_name] += 1
+
+        for port in module.ports.values():
+            touched.add(port.name)
+            if port.direction is Direction.INPUT:
+                driver_count[port.name] += 1  # driven from outside
+
+        for net_name, count in driver_count.items():
+            if count > 1:
+                warnings.append(
+                    f"{module.name}: net {net_name!r} has {count} drivers"
+                )
+
+        for port in module.output_ports():
+            if driver_count.get(port.name, 0) == 0 and (
+                module.instances or module.assigns
+            ):
+                warnings.append(
+                    f"{module.name}: output port {port.name!r} is undriven"
+                )
+
+        dangling = sorted(set(module.nets) - touched)
+        for net_name in dangling:
+            message = f"{module.name}: net {net_name!r} is dangling"
+            if allow_dangling:
+                warnings.append(message)
+            else:
+                raise RTLValidationError(message)
+
+    return warnings
+
+
+def _check_acyclic(design: Design) -> None:
+    """Reject recursive module hierarchies."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    state = {name: WHITE for name in design.modules}
+
+    def visit(name: str, trail: tuple) -> None:
+        state[name] = GREY
+        for child in design.submodule_names(name):
+            if state.get(child, BLACK) is GREY:
+                cycle = " -> ".join(trail + (name, child))
+                raise RTLValidationError(f"cyclic module hierarchy: {cycle}")
+            if state.get(child) is WHITE:
+                visit(child, trail + (name,))
+        state[name] = BLACK
+
+    for name in design.modules:
+        if state[name] is WHITE:
+            visit(name, ())

@@ -1,0 +1,40 @@
+"""The runtime management system (paper Section 2.3, Fig. 7).
+
+* :mod:`~repro.runtime.catalog`    — the mapping-results database: for every
+  benchmark model, demand-sized accelerator instances compiled for every
+  feasible device type at every deployment width (1 FPGA, 2-FPGA
+  scale-down, ...), with bitstream artifacts cached across instances.
+* :mod:`~repro.runtime.deployment` — live deployment records.
+* :mod:`~repro.runtime.controller` — the system controller: searches the
+  database under the greedy fewest-FPGAs-first policy, sends configuration
+  requests to the HS abstraction's low-level controller, and supports the
+  restricted (same-device-type) policy of Fig. 12.
+* :mod:`~repro.runtime.systems`    — the three systems compared in the
+  evaluation: the proposed framework, the restricted-policy variant, and
+  the AS-ISA-only baseline.
+"""
+
+from .api import ClusterStatus, HypervisorAPI, TaskHandle
+from .catalog import Catalog, CatalogEntry, DeploymentPlan, ReplicaImage
+from .deployment import Deployment, DeploymentState
+from .controller import SystemController, PlacementPolicy, PlanOrder
+from .systems import BaselineSystem, ProposedSystem, RestrictedSystem, build_system
+
+__all__ = [
+    "BaselineSystem",
+    "ClusterStatus",
+    "HypervisorAPI",
+    "TaskHandle",
+    "Catalog",
+    "CatalogEntry",
+    "Deployment",
+    "DeploymentPlan",
+    "DeploymentState",
+    "PlacementPolicy",
+    "PlanOrder",
+    "ProposedSystem",
+    "ReplicaImage",
+    "RestrictedSystem",
+    "SystemController",
+    "build_system",
+]

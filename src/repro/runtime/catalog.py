@@ -1,0 +1,192 @@
+"""The mapping-results database (the "Database" box of Fig. 7).
+
+For every benchmark model the catalog holds deployment plans at increasing
+widths: 1 FPGA (a demand-sized instance), 2-FPGA scale-down, ... — each
+compiled through the full offline pipeline: instance sizing -> RTL
+generation -> decomposition -> ViTAL compilation per device type.  Results
+are cached two ways:
+
+* per ``(tile count, device type)`` for generated/decomposed designs — the
+  paper's "10 different accelerator instances" are exactly this dedupe, and
+* content-addressed bitstreams in the shared
+  :class:`~repro.vital.bitstream.BitstreamStore`, which is what amortises
+  scale-down compilation across instances (Section 4.3's 24.6% figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..accel.config import AcceleratorConfig
+from ..accel.generator import CONTROL_MODULES, generate_accelerator
+from ..accel.codegen import build_scaleout_programs
+from ..accel.timing import CycleModel, TimingParameters, DEFAULT_TIMING
+from ..core.decompose import decompose
+from ..errors import CompileError, ReproError
+from ..perf.latency import BASE_INSTANCES, demand_sized_instance
+from ..vital.compiler import VitalCompiler
+from ..workloads.deepbench import ModelSpec
+
+
+@dataclass(frozen=True)
+class ReplicaImage:
+    """One replica of a deployment plan, compiled for one device type."""
+
+    device_type: str
+    instance: AcceleratorConfig
+    virtual_blocks: int
+    frequency_hz: float
+    artifact: str
+
+
+@dataclass
+class DeploymentPlan:
+    """One deployment width for one model.
+
+    ``replicas`` FPGAs, each hosting one scaled-down replica; ``images``
+    maps device-type name to the replica image for that type (replicas on
+    different device types are allowed — the heterogeneous support).
+    ``programs[i]`` is replica ``i``'s transformed ISA program.
+    """
+
+    model_key: str
+    replicas: int
+    images: dict = field(default_factory=dict)
+    programs: list = field(default_factory=list)
+
+    @property
+    def feasible_types(self) -> list:
+        return sorted(self.images)
+
+    def image_for(self, device_type: str) -> ReplicaImage:
+        try:
+            return self.images[device_type]
+        except KeyError:
+            raise ReproError(
+                f"{self.model_key} x{self.replicas} has no image for "
+                f"{device_type}"
+            ) from None
+
+
+@dataclass
+class CatalogEntry:
+    """All deployment plans for one model, fewest-FPGAs first."""
+
+    spec: ModelSpec
+    plans: list = field(default_factory=list)
+
+    def sorted_plans(self) -> list:
+        """The greedy policy's search order (ascending width)."""
+        return sorted(self.plans, key=lambda plan: plan.replicas)
+
+    def min_replicas(self) -> int:
+        if not self.plans:
+            raise ReproError(f"{self.spec.key}: no feasible deployment plan")
+        return min(plan.replicas for plan in self.plans)
+
+
+class Catalog:
+    """Builds and caches catalog entries through the offline tool chain."""
+
+    def __init__(
+        self,
+        compiler: VitalCompiler | None = None,
+        timing: TimingParameters = DEFAULT_TIMING,
+        max_replicas: int = 2,
+        weight_bits: int | None = None,
+    ):
+        self.compiler = compiler or VitalCompiler()
+        self.timing = timing
+        self.max_replicas = max_replicas
+        self.weight_bits = weight_bits or BASE_INSTANCES["XCVU37P"].weight_bits
+        self._entries: dict[str, CatalogEntry] = {}
+        # (tiles, device_type) -> (decomposed, partition tree)
+        self._design_cache: dict = {}
+        self.designs_generated = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def entry(self, spec: ModelSpec) -> CatalogEntry:
+        """The catalog entry for ``spec`` (built on first request)."""
+        cached = self._entries.get(spec.key)
+        if cached is not None:
+            return cached
+        entry = self._build_entry(spec)
+        self._entries[spec.key] = entry
+        return entry
+
+    def instance_count(self) -> int:
+        """Distinct accelerator instances generated so far (the paper's
+        "10 different accelerator instances" inventory)."""
+        return len(self._design_cache)
+
+    # -- construction ------------------------------------------------------------------
+
+    def _build_entry(self, spec: ModelSpec) -> CatalogEntry:
+        entry = CatalogEntry(spec=spec)
+        replicas = 1
+        while replicas <= self.max_replicas:
+            plan = self._build_plan(spec, replicas)
+            if plan is not None:
+                entry.plans.append(plan)
+            replicas *= 2
+        if not entry.plans:
+            raise CompileError(
+                f"{spec.key}: no feasible deployment at any width up to "
+                f"{self.max_replicas} FPGAs"
+            )
+        return entry
+
+    def _build_plan(self, spec: ModelSpec, replicas: int) -> DeploymentPlan | None:
+        if replicas > 1:
+            if spec.hidden % replicas != 0:
+                return None
+            programs = build_scaleout_programs(
+                spec.kind, spec.metadata_weights(), spec.timesteps, replicas
+            )
+        else:
+            programs = [spec.program()]
+
+        plan = DeploymentPlan(
+            model_key=spec.key, replicas=replicas, programs=programs
+        )
+        bits_needed = spec.weight_bits(self.weight_bits)
+        for device_type in self.compiler.devices:
+            choice = demand_sized_instance(bits_needed, device_type, replicas)
+            model = CycleModel(choice.config, self.timing)
+            if not model.fits(programs[0]):
+                continue
+            image = self._compile_instance(spec, choice.config, device_type)
+            if image is not None:
+                plan.images[device_type] = image
+        return plan if plan.images else None
+
+    def _compile_instance(
+        self, spec: ModelSpec, config: AcceleratorConfig, device_type: str
+    ) -> ReplicaImage | None:
+        device = self.compiler.devices[device_type]
+        cache_key = (config.tiles, device_type)
+        if cache_key not in self._design_cache:
+            design = generate_accelerator(config)
+            decomposed = decompose(design, CONTROL_MODULES)
+            self._design_cache[cache_key] = decomposed
+            self.designs_generated += 1
+        decomposed = self._design_cache[cache_key]
+        demand = decomposed.total_resources()
+        try:
+            image, _bitstream, _cached = self.compiler.compile_cluster(
+                accelerator=f"bw-t{config.tiles}",
+                cluster_index=0,
+                cluster_signature=decomposed.data_root.signature,
+                demand=demand,
+                device=device,
+            )
+        except CompileError:
+            return None
+        return ReplicaImage(
+            device_type=device_type,
+            instance=config,
+            virtual_blocks=image.virtual_blocks,
+            frequency_hz=image.frequency_hz,
+            artifact=image.artifact,
+        )

@@ -1,0 +1,336 @@
+"""The system controller (paper Fig. 7).
+
+Maintains the mapping database (catalog), performs resource allocation with
+the greedy runtime policy — "sorts the mapping results based on the number
+of soft blocks in ascending order [and] tries to find a feasible allocation
+starting from the first mapping result" — and sends configuration requests
+to the HS abstraction's low-level controller.
+
+Policy knobs reproduce the systems of Fig. 12:
+
+* ``same_type_only=True`` is the *restricted* policy that emulates existing
+  HS abstractions (one accelerator may only span FPGAs of one device type);
+* ``pattern_aware=False`` is the ablation where the ViTAL partitioner is
+  used instead of the pattern-guided one (more boundary crossings).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from ..accel.timing import (
+    CycleModel,
+    TimingParameters,
+    DEFAULT_TIMING,
+    VirtualizationContext,
+)
+from ..cluster.topology import FPGACluster
+from ..errors import AllocationError
+from ..perf.latency import single_fpga_latency, weight_load_seconds
+from ..perf.overlap import scaleout_latency
+from ..units import ms
+from ..vital.bitstream import LowLevelController
+from ..workloads.deepbench import model_by_key
+from .catalog import Catalog, DeploymentPlan
+from .deployment import Deployment, DeploymentState, ReplicaPlacement
+
+
+class PlacementPolicy(enum.Enum):
+    """How boards are chosen among feasible candidates."""
+
+    #: Fill the fullest board that still fits (packs small tasks tightly).
+    BEST_FIT = "best_fit"
+    #: First feasible board in id order.
+    FIRST_FIT = "first_fit"
+    #: Emptiest board first (spreads load; worst packing — ablation).
+    WORST_FIT = "worst_fit"
+
+
+class PlanOrder(enum.Enum):
+    """In which order deployment plans are tried (paper Section 2.3).
+
+    The paper's greedy policy minimises the number of allocated FPGAs to
+    minimise inter-FPGA communication; ``WIDEST_FIRST`` is the ablation that
+    prefers maximum parallelism and pays the communication instead.
+    """
+
+    #: The paper's policy: fewest FPGAs first.
+    FEWEST_FPGAS = "fewest_fpgas"
+    #: Ablation: widest (most-FPGA) plans first.
+    WIDEST_FIRST = "widest_first"
+
+
+@dataclass
+class ControllerStats:
+    deployments_created: int = 0
+    deployments_evicted: int = 0
+    placement_failures: int = 0
+    reuse_hits: int = 0
+
+
+class SystemController:
+    """Resource allocation over one cluster, one catalog."""
+
+    def __init__(
+        self,
+        cluster: FPGACluster,
+        catalog: Catalog,
+        low_level: LowLevelController,
+        same_type_only: bool = False,
+        pattern_aware: bool = True,
+        placement: PlacementPolicy = PlacementPolicy.BEST_FIT,
+        plan_order: "PlanOrder" = None,
+        timing: TimingParameters = DEFAULT_TIMING,
+        reconfig_s_per_block: float = ms(4.0),
+        eviction_patience_s: float = ms(25.0),
+    ):
+        self.cluster = cluster
+        self.catalog = catalog
+        self.low_level = low_level
+        self.same_type_only = same_type_only
+        self.pattern_aware = pattern_aware
+        self.placement = placement
+        self.plan_order = plan_order or PlanOrder.FEWEST_FPGAS
+        self.timing = timing
+        self.reconfig_s_per_block = reconfig_s_per_block
+        self.eviction_patience_s = eviction_patience_s
+        self.deployments: dict[str, Deployment] = {}
+        self.stats = ControllerStats()
+        self._ids = itertools.count(1)
+        self._service_cache: dict = {}
+
+    # -- public API (what the hypervisor calls) -------------------------------------
+
+    def find_idle_deployment(self, model_key: str) -> Deployment | None:
+        """An already-resident idle deployment of this model, if any."""
+        for deployment in self.deployments.values():
+            if deployment.model_key == model_key and deployment.is_idle:
+                return deployment
+        return None
+
+    def deploy(
+        self,
+        model_key: str,
+        now: float = 0.0,
+        waited_s: float = 0.0,
+        allow_mixed: bool = True,
+    ) -> tuple:
+        """Create a new deployment for ``model_key``.
+
+        Returns ``(deployment, reconfig_seconds)``.  Follows the greedy
+        policy: try the fewest-FPGAs plan first; when no placement exists,
+        evict idle deployments LRU and retry; raise
+        :class:`AllocationError` when the model cannot currently be placed.
+
+        ``waited_s`` is how long the requesting task has queued.  Eviction
+        is gated twice to prevent reconfiguration thrash on mixed streams:
+        the model must have no resident deployment, and the requester must
+        have waited out the patience window (which batches same-model work
+        between reconfigurations).
+        """
+        entry = self.catalog.entry(model_by_key(model_key))
+        plans = entry.sorted_plans()
+        if self.plan_order is PlanOrder.WIDEST_FIRST:
+            plans = list(reversed(plans))
+        may_evict = waited_s >= self.eviction_patience_s
+        while True:
+            for plan in plans:
+                assignment = self._find_placement(plan, allow_mixed=allow_mixed)
+                if assignment is not None:
+                    return self._instantiate(plan, assignment, now)
+            if not may_evict or not self._evict_one_idle(now, model_key):
+                self.stats.placement_failures += 1
+                raise AllocationError(
+                    f"no feasible allocation for {model_key} "
+                    f"(free blocks: {self.cluster.total_free_blocks()})"
+                )
+
+    def release(self, deployment: Deployment, now: float) -> None:
+        """Return a deployment to idle after a task completes."""
+        deployment.release(now)
+
+    def evict(self, deployment: Deployment) -> None:
+        """Tear a deployment down and free its blocks."""
+        if deployment.state is DeploymentState.BUSY:
+            raise AllocationError(
+                f"cannot evict busy deployment {deployment.deployment_id}"
+            )
+        for placement in deployment.placements:
+            board = self.cluster.board(placement.fpga_id)
+            self.low_level.release(board, deployment.deployment_id)
+        del self.deployments[deployment.deployment_id]
+        self.stats.deployments_evicted += 1
+
+    # -- placement search --------------------------------------------------------------
+
+    def _candidate_boards(self, plan: DeploymentPlan) -> list:
+        boards = [
+            board
+            for board in self.cluster.boards.values()
+            if board.model.name in plan.images
+        ]
+        if self.placement is PlacementPolicy.BEST_FIT:
+            boards.sort(key=lambda b: (b.free_blocks, b.fpga_id))
+        elif self.placement is PlacementPolicy.WORST_FIT:
+            boards.sort(key=lambda b: (-b.free_blocks, b.fpga_id))
+        else:
+            boards.sort(key=lambda b: b.fpga_id)
+        return boards
+
+    def _find_placement(
+        self, plan: DeploymentPlan, allow_mixed: bool = True
+    ) -> list | None:
+        """Choose one board per replica; ``None`` when impossible now.
+
+        Among feasible assignments the controller prefers the lowest
+        estimated service time (so a heterogeneous pairing is used only when
+        no faster same-type pair is free), then packs best-fit.
+        ``allow_mixed=False`` suppresses cross-type assignments (callers use
+        it to keep scarce device types free for other queued models).
+        """
+        candidates = self._candidate_boards(plan)
+        options: list = []
+        for device_type in plan.feasible_types:
+            subset = [b for b in candidates if b.model.name == device_type]
+            chosen = self._pick_boards(plan, subset)
+            if chosen is not None:
+                options.append(chosen)
+        if options:
+            # Same-type assignments first: they are exactly what the
+            # restricted policy would choose, so the unrestricted policy is
+            # a strict superset — mixed pairings only when same-type is
+            # impossible right now.
+            return min(
+                options,
+                key=lambda assignment: self._estimate_service(plan, assignment),
+            )
+        if not self.same_type_only and plan.replicas > 1 and allow_mixed:
+            return self._pick_boards(plan, candidates)
+        return None
+
+    def _estimate_service(self, plan: DeploymentPlan, assignment: list) -> float:
+        """Service-time estimate for an assignment (cached per type mix)."""
+        types = tuple(sorted(board.model.name for board, _ in assignment))
+        key = (plan.model_key, plan.replicas, types)
+        cached = self._service_cache.get(key)
+        if cached is None:
+            placements = [
+                ReplicaPlacement(
+                    fpga_id=board.fpga_id,
+                    device_type=board.model.name,
+                    virtual_blocks=image.virtual_blocks,
+                )
+                for board, image in assignment
+            ]
+            cached = self._service_time(plan, placements)
+            self._service_cache[key] = cached
+        return cached
+
+    def _pick_boards(self, plan: DeploymentPlan, boards: list) -> list | None:
+        chosen = []
+        used = set()
+        for _replica in range(plan.replicas):
+            for board in boards:
+                if board.fpga_id in used:
+                    continue
+                image = plan.images.get(board.model.name)
+                if image is not None and board.can_host(image.virtual_blocks):
+                    chosen.append((board, image))
+                    used.add(board.fpga_id)
+                    break
+            else:
+                return None
+        return chosen
+
+    def _evict_one_idle(self, now: float, requesting_model: str) -> bool:
+        """Reclaim the least-recently-used *stale* idle deployment.
+
+        Victims must be idle past the patience window and belong to a
+        different model — hot models keep their copies, over-provisioned
+        ones shrink (the rebalancing that keeps mixed streams from
+        thrashing while still adapting to skew).
+        """
+        victims = [
+            d
+            for d in self.deployments.values()
+            if d.is_idle
+            and d.model_key != requesting_model
+            and now - d.last_used_s >= self.eviction_patience_s
+        ]
+        if not victims:
+            return False
+        victim = min(victims, key=lambda d: d.last_used_s)
+        self.evict(victim)
+        return True
+
+    # -- instantiation ------------------------------------------------------------------
+
+    def _instantiate(self, plan: DeploymentPlan, assignment: list, now: float) -> tuple:
+        deployment_id = f"dep-{next(self._ids)}"
+        placements = []
+        reconfig = 0.0
+        for board, image in assignment:
+            indices = self.low_level.configure(board, deployment_id, image.artifact)
+            placements.append(
+                ReplicaPlacement(
+                    fpga_id=board.fpga_id,
+                    device_type=board.model.name,
+                    virtual_blocks=image.virtual_blocks,
+                    block_indices=indices,
+                )
+            )
+            reconfig += image.virtual_blocks * self.reconfig_s_per_block
+        # Creating a deployment also loads the model's weights.
+        reconfig += weight_load_seconds(
+            model_by_key(plan.model_key).parameter_count
+        )
+        deployment = Deployment(
+            deployment_id=deployment_id,
+            model_key=plan.model_key,
+            plan=plan,
+            placements=placements,
+            last_used_s=now,
+        )
+        deployment.service_s = self._service_time(plan, placements)
+        self.deployments[deployment_id] = deployment
+        self.stats.deployments_created += 1
+        return deployment, reconfig
+
+    def _service_time(self, plan: DeploymentPlan, placements: list) -> float:
+        """Per-task latency on this deployment (the simulator's service)."""
+        if plan.replicas == 1:
+            image = plan.image_for(placements[0].device_type)
+            virt = VirtualizationContext(
+                virtual_blocks=image.virtual_blocks,
+                pattern_aware=self.pattern_aware,
+            )
+            return single_fpga_latency(
+                plan.programs[0],
+                image.instance,
+                virtualization=virt,
+                frequency_hz=image.frequency_hz,
+                params=self.timing,
+            ).seconds
+        members = [p.fpga_id for p in placements]
+        worst = 0.0
+        for index, placement in enumerate(placements):
+            image = plan.image_for(placement.device_type)
+            virt = VirtualizationContext(
+                virtual_blocks=image.virtual_blocks,
+                pattern_aware=self.pattern_aware,
+            )
+            model = CycleModel(
+                image.instance.with_frequency(image.frequency_hz), self.timing
+            )
+            report = scaleout_latency(
+                plan.programs[min(index, len(plan.programs) - 1)],
+                model,
+                self.cluster.network,
+                members,
+                virtualization=virt,
+                params=self.timing,
+            )
+            worst = max(worst, report.total_s)
+        return worst

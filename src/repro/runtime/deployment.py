@@ -1,0 +1,71 @@
+"""Live deployment records.
+
+A deployment is one accelerator (possibly scaled down into replicas)
+resident on the cluster: which boards host which replica, how many virtual
+blocks each occupies, and whether a task is currently running on it.
+Deployments persist between tasks of the same model (persistent-NN serving)
+and are evicted LRU when the controller needs their blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DeploymentError
+from .catalog import DeploymentPlan
+
+
+class DeploymentState(enum.Enum):
+    IDLE = "idle"
+    BUSY = "busy"
+
+
+@dataclass
+class ReplicaPlacement:
+    """One replica resident on one board."""
+
+    fpga_id: str
+    device_type: str
+    virtual_blocks: int
+    block_indices: list = field(default_factory=list)
+
+
+@dataclass
+class Deployment:
+    """One resident accelerator."""
+
+    deployment_id: str
+    model_key: str
+    plan: DeploymentPlan
+    placements: list = field(default_factory=list)
+    state: DeploymentState = DeploymentState.IDLE
+    #: Cached per-task service latency (seconds), computed at creation.
+    service_s: float = 0.0
+    #: Last time this deployment finished a task (LRU eviction key).
+    last_used_s: float = 0.0
+    tasks_served: int = 0
+
+    @property
+    def member_fpgas(self) -> list:
+        return [placement.fpga_id for placement in self.placements]
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state is DeploymentState.IDLE
+
+    def acquire(self) -> None:
+        if self.state is not DeploymentState.IDLE:
+            raise DeploymentError(
+                f"deployment {self.deployment_id} is not idle"
+            )
+        self.state = DeploymentState.BUSY
+
+    def release(self, now: float) -> None:
+        if self.state is not DeploymentState.BUSY:
+            raise DeploymentError(
+                f"deployment {self.deployment_id} is not busy"
+            )
+        self.state = DeploymentState.IDLE
+        self.last_used_s = now
+        self.tasks_served += 1

@@ -1,0 +1,334 @@
+"""The three systems compared in the evaluation (Fig. 12).
+
+* :class:`ProposedSystem` — the full multi-layer framework: virtual-block
+  sharing, heterogeneous multi-FPGA deployment, scale-out overlap.
+* :class:`RestrictedSystem` — same framework, but one accelerator may only
+  span FPGAs of one device type (emulates the multi-FPGA support of
+  existing HS abstractions).
+* :class:`BaselineSystem` — AS ISA only: per-device allocation of the
+  statically compiled device-matched accelerator, no spatial sharing, no
+  communication/computation overlap for multi-FPGA models.
+
+All three implement the :class:`~repro.cluster.simulator.Scheduler`
+protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.config import AcceleratorConfig
+from ..accel.codegen import build_scaleout_programs
+from ..accel.timing import CycleModel, TimingParameters, DEFAULT_TIMING
+from ..cluster.simulator import Task
+from ..cluster.topology import FPGACluster
+from ..errors import AllocationError, ReproError
+from ..perf.latency import BASE_INSTANCES, weight_load_seconds
+from ..perf.overlap import scaleout_latency
+from ..vital.bitstream import LowLevelController
+from ..workloads.deepbench import ModelSpec, model_by_key
+from .catalog import Catalog
+from .controller import SystemController
+
+
+class ProposedSystem:
+    """The full multi-layer virtualization framework."""
+
+    name = "proposed"
+
+    def __init__(self, cluster: FPGACluster, catalog: Catalog,
+                 timing: TimingParameters = DEFAULT_TIMING):
+        self.cluster = cluster
+        self.controller = SystemController(
+            cluster,
+            catalog,
+            LowLevelController(catalog.compiler.store),
+            same_type_only=self._same_type_only(),
+            timing=timing,
+        )
+        self._running: dict[int, object] = {}
+
+    @staticmethod
+    def _same_type_only() -> bool:
+        return False
+
+    # -- Scheduler protocol -------------------------------------------------------
+
+    #: Queue depth that justifies growing an already-deployed model by
+    #: evicting someone else's stale idle copy.
+    EXPANSION_PRESSURE = 4
+
+    def has_fast_path(self, task: Task) -> bool:
+        return self.controller.find_idle_deployment(task.model_key) is not None
+
+    def observe_queue(self, pending_by_model: dict) -> None:
+        self._queue_view = dict(pending_by_model)
+
+    def _deployment_count(self, model_key: str) -> int:
+        return sum(
+            1
+            for d in self.controller.deployments.values()
+            if d.model_key == model_key
+        )
+
+    def _expansion_allowed(self, model_key: str) -> bool:
+        """Fairness: a model with copies yields space to pending models
+        that have none at all."""
+        view = getattr(self, "_queue_view", {})
+        for other_key, depth in view.items():
+            if other_key == model_key or depth <= 0:
+                continue
+            if self._deployment_count(other_key) == 0:
+                return False
+        return view.get(model_key, 0) >= 2
+
+    def try_start(self, task: Task, now: float) -> float | None:
+        seen = getattr(self, "_seen_models", None)
+        if seen is None:
+            seen = self._seen_models = {}
+        seen[task.model_key] = seen.get(task.model_key, 0) + 1
+        deployment = self.controller.find_idle_deployment(task.model_key)
+        reconfig = 0.0
+        if deployment is None:
+            copies = self._deployment_count(task.model_key)
+            if copies > 0 and not self._expansion_allowed(task.model_key):
+                return None  # wait for the busy copy instead of expanding
+            waited = now - task.arrival_s
+            if copies > 0:
+                # Expansion uses free blocks; eviction only under strong
+                # queue pressure.
+                view = getattr(self, "_queue_view", {})
+                if view.get(task.model_key, 0) < self.EXPANSION_PRESSURE:
+                    waited = 0.0
+            # A heterogeneous (mixed-type) pairing takes a scarce device
+            # type away from single-FPGA models.  The controller adapts to
+            # the observed workload: mixed pairs are only worthwhile when
+            # the stream is essentially single-model (otherwise the scarce
+            # type serves the other models better).
+            total_seen = sum(seen.values())
+            other_seen = total_seen - seen.get(task.model_key, 0)
+            allow_mixed = other_seen <= 0.05 * total_seen
+            try:
+                deployment, reconfig = self.controller.deploy(
+                    task.model_key, now, waited_s=waited,
+                    allow_mixed=allow_mixed,
+                )
+            except AllocationError:
+                return None
+        else:
+            self.controller.stats.reuse_hits += 1
+        deployment.acquire()
+        self._running[task.task_id] = deployment
+        return reconfig + deployment.service_s
+
+    def on_finish(self, task: Task, now: float) -> None:
+        deployment = self._running.pop(task.task_id)
+        self.controller.release(deployment, now)
+
+
+class RestrictedSystem(ProposedSystem):
+    """Framework with the same-device-type restriction of Fig. 12."""
+
+    name = "restricted"
+
+    @staticmethod
+    def _same_type_only() -> bool:
+        return True
+
+
+@dataclass
+class _BaselineBoardState:
+    """One board in the baseline system: statically programmed with the
+    device-matched full accelerator, busy or free as a whole.
+
+    ``resident_model`` tracks whose weights currently occupy the on-chip
+    matrix memory; serving a different model first reloads weights over
+    PCIe/DRAM (persistent-NN serving makes weight residency the asset)."""
+
+    fpga_id: str
+    device_type: str
+    instance: AcceleratorConfig
+    busy_until_task: int | None = None
+    resident_model: str | None = None
+
+
+class BaselineSystem:
+    """AS ISA only: per-device granularity, static allocation.
+
+    Every board permanently hosts its device-matched accelerator instance
+    (resource allocation is fixed at offline compile time), one task runs
+    per board, and models too large for one board occupy two boards with
+    *manually partitioned*, non-overlapped communication (the paper's
+    description of scale-out without the framework).  Boards prefer tasks
+    of their resident model; switching models costs a weight reload.
+    """
+
+    name = "baseline"
+
+    def __init__(self, cluster: FPGACluster,
+                 timing: TimingParameters = DEFAULT_TIMING):
+        self.cluster = cluster
+        self.timing = timing
+        self.boards = [
+            _BaselineBoardState(
+                fpga_id=board.fpga_id,
+                device_type=board.model.name,
+                instance=BASE_INSTANCES[board.model.name].with_frequency(
+                    board.model.frequency_hz
+                ),
+            )
+            for board in cluster.boards.values()
+        ]
+        self._running: dict[int, list] = {}
+        self._latency_cache: dict = {}
+        #: model key -> boards it was statically assigned to at "compile
+        #: time".  Computed from the model pool without knowledge of the
+        #: runtime composition — the static inflexibility the paper attacks.
+        self._assignment: dict[str, list] = {}
+        self._build_static_assignment()
+
+    def _build_static_assignment(self) -> None:
+        """Round-robin the known model pool over the boards offline."""
+        from ..workloads.deepbench import MODEL_POOL
+
+        pool = sorted(
+            {spec.key: spec for specs in MODEL_POOL.values() for spec in specs}.values(),
+            key=lambda spec: spec.key,
+        )
+        cursor = 0
+        for spec in pool:
+            placed = False
+            for attempt in range(len(self.boards)):
+                board = self.boards[(cursor + attempt) % len(self.boards)]
+                if self._single_latency(spec, board) is not None:
+                    self._assignment[spec.key] = [board]
+                    cursor += attempt + 1
+                    placed = True
+                    break
+            if placed:
+                continue
+            # Oversized model: statically assign a feasible board pair.
+            for i, first in enumerate(self.boards):
+                for second in self.boards[i + 1 :]:
+                    if self._pair_latency(spec, [first, second]) is not None:
+                        self._assignment[spec.key] = [first, second]
+                        placed = True
+                        break
+                if placed:
+                    break
+
+    # -- latency ---------------------------------------------------------------------
+
+    def _single_latency(self, spec: ModelSpec, board: _BaselineBoardState) -> float | None:
+        key = ("single", spec.key, board.device_type)
+        if key not in self._latency_cache:
+            model = CycleModel(board.instance, self.timing)
+            program = spec.program()
+            self._latency_cache[key] = (
+                model.latency(program).seconds if model.fits(program) else None
+            )
+        return self._latency_cache[key]
+
+    def _pair_latency(self, spec: ModelSpec, pair: list) -> float | None:
+        types = tuple(sorted(b.device_type for b in pair))
+        key = ("pair", spec.key, types)
+        if key not in self._latency_cache:
+            self._latency_cache[key] = self._compute_pair_latency(spec, pair)
+        return self._latency_cache[key]
+
+    def _compute_pair_latency(self, spec: ModelSpec, pair: list) -> float | None:
+        if spec.hidden % 2 != 0:
+            return None
+        # Manual partitioning: no reordering tool, so communication is
+        # fully exposed (the overlap window is empty).
+        try:
+            programs = build_scaleout_programs(
+                spec.kind, spec.metadata_weights(), spec.timesteps, 2,
+                reorder=False,
+            )
+        except ReproError:
+            return None
+        members = [b.fpga_id for b in pair]
+        worst = 0.0
+        for board, program in zip(pair, programs):
+            model = CycleModel(board.instance, self.timing)
+            if not model.fits(program):
+                return None
+            report = scaleout_latency(
+                program, model, self.cluster.network, members,
+                params=self.timing,
+            )
+            worst = max(worst, report.total_s)
+        return worst
+
+    # -- Scheduler protocol ----------------------------------------------------------------
+
+    @staticmethod
+    def _switch_cost(spec: ModelSpec, boards: list) -> float:
+        """Weight reload time for boards not already holding this model."""
+        if all(board.resident_model == spec.key for board in boards):
+            return 0.0
+        return weight_load_seconds(spec.parameter_count)
+
+    def _occupy(self, task: Task, spec: ModelSpec, boards: list) -> None:
+        for board in boards:
+            board.busy_until_task = task.task_id
+            board.resident_model = spec.key
+        self._running[task.task_id] = boards
+
+    def try_start(self, task: Task, now: float) -> float | None:
+        spec = model_by_key(task.model_key)
+        boards = self._assignment.get(task.model_key)
+        if boards is None:
+            # A model outside the offline pool: assign it now, permanently
+            # (recompiling the static allocation mid-run is not an option).
+            self._build_static_assignment()
+            self._assign_extra(spec)
+            boards = self._assignment.get(task.model_key)
+            if boards is None:
+                return None
+        if any(board.busy_until_task is not None for board in boards):
+            return None
+        if len(boards) == 1:
+            latency = self._single_latency(spec, boards[0])
+        else:
+            latency = self._pair_latency(spec, boards)
+        if latency is None:
+            return None
+        cost = self._switch_cost(spec, boards)
+        self._occupy(task, spec, boards)
+        return cost + latency
+
+    def _assign_extra(self, spec: ModelSpec) -> None:
+        """Statically place a model that was not in the offline pool."""
+        for board in self.boards:
+            if self._single_latency(spec, board) is not None:
+                self._assignment[spec.key] = [board]
+                return
+        for i, first in enumerate(self.boards):
+            for second in self.boards[i + 1 :]:
+                if self._pair_latency(spec, [first, second]) is not None:
+                    self._assignment[spec.key] = [first, second]
+                    return
+
+    def on_finish(self, task: Task, now: float) -> None:
+        for board in self._running.pop(task.task_id):
+            board.busy_until_task = None
+
+
+def build_system(
+    name: str,
+    cluster: FPGACluster,
+    catalog: Catalog | None = None,
+    timing: TimingParameters = DEFAULT_TIMING,
+):
+    """Factory over the three evaluated systems."""
+    if name == "baseline":
+        return BaselineSystem(cluster, timing)
+    if catalog is None:
+        raise ReproError(f"system {name!r} needs a catalog")
+    if name == "proposed":
+        return ProposedSystem(cluster, catalog, timing)
+    if name == "restricted":
+        return RestrictedSystem(cluster, catalog, timing)
+    raise ReproError(f"unknown system {name!r}")

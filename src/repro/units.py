@@ -1,0 +1,136 @@
+"""Unit helpers used throughout the library.
+
+The paper mixes several unit systems (Mb of BRAM, MHz clock frequencies,
+microsecond network latencies, millisecond inference latencies).  To avoid
+unit bugs, the library stores everything internally in *base* units:
+
+* time        -> seconds
+* frequency   -> hertz
+* memory      -> bits
+* bandwidth   -> bits per second
+
+and exposes tiny constructor/formatter helpers so call sites read naturally
+(``us(0.6)``, ``mhz(400)``, ``mbit(51.5)``).
+"""
+
+from __future__ import annotations
+
+# --- time ------------------------------------------------------------------
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NS
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * US
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * MS
+
+
+def to_us(seconds: float) -> float:
+    """Seconds to microseconds."""
+    return seconds / US
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds / MS
+
+
+# --- frequency ---------------------------------------------------------------
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def mhz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * MHZ
+
+
+def to_mhz(hertz: float) -> float:
+    """Hertz to megahertz."""
+    return hertz / MHZ
+
+
+# --- memory ------------------------------------------------------------------
+
+KBIT = 1 << 10
+MBIT = 1 << 20
+
+
+def kbit(value: float) -> float:
+    """Kilobits (1024-based) to bits."""
+    return value * KBIT
+
+
+def mbit(value: float) -> float:
+    """Megabits (1024-based) to bits."""
+    return value * MBIT
+
+
+def to_mbit(bits: float) -> float:
+    """Bits to megabits."""
+    return bits / MBIT
+
+
+# --- bandwidth ---------------------------------------------------------------
+
+GBPS = 1e9
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * GBPS
+
+
+# --- compute -----------------------------------------------------------------
+
+TFLOPS = 1e12
+
+
+def tflops(value: float) -> float:
+    """TeraFLOP/s to FLOP/s."""
+    return value * TFLOPS
+
+
+def to_tflops(flops: float) -> float:
+    """FLOP/s to TeraFLOP/s."""
+    return flops / TFLOPS
+
+
+# --- formatting --------------------------------------------------------------
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with a sensible unit, e.g. ``'0.136 ms'``."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3g} s"
+    if magnitude >= MS:
+        return f"{seconds / MS:.3g} ms"
+    if magnitude >= US:
+        return f"{seconds / US:.3g} us"
+    return f"{seconds / NS:.3g} ns"
+
+
+def fmt_bits(bits: float) -> str:
+    """Render a memory size, e.g. ``'51.5 Mb'``."""
+    if abs(bits) >= MBIT:
+        return f"{bits / MBIT:.3g} Mb"
+    if abs(bits) >= KBIT:
+        return f"{bits / KBIT:.3g} Kb"
+    return f"{bits:.0f} b"

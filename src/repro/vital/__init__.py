@@ -1,0 +1,42 @@
+"""The hardware-specific (HS) abstraction substrate — a ViTAL-like layer.
+
+ViTAL (ASPLOS'20, [53] in the paper) divides each FPGA into an array of
+*identical virtual blocks* with latency-insensitive interfaces, compiles
+designs block-by-block, and lets a low-level controller place compiled
+blocks onto any physical FPGA of the same type at runtime.
+
+This package models what the multi-layer framework needs from ViTAL:
+
+* :mod:`~repro.vital.device`        — FPGA device models (XCVU37P, XCKU115)
+  with their virtual-block grids and capacities (calibrated to Tables 2/3).
+* :mod:`~repro.vital.virtual_block` — physical FPGA instances with runtime
+  block occupancy.
+* :mod:`~repro.vital.floorplan`     — the floorplanning-quality frequency
+  model (Section 4.2 / Fig. 10).
+* :mod:`~repro.vital.compiler`      — maps soft-block clusters onto virtual
+  blocks of every feasible device type, producing deployment options.
+* :mod:`~repro.vital.bitstream`     — pseudo-bitstream artifacts and the
+  low-level configuration controller API.
+"""
+
+from .device import FPGAModel, XCVU37P, XCKU115, DEVICE_TYPES
+from .virtual_block import PhysicalFPGA, VirtualBlockState
+from .floorplan import achieved_frequency, FloorplanQuality
+from .compiler import VitalCompiler, CompiledAccelerator
+from .bitstream import Bitstream, BitstreamStore, LowLevelController
+
+__all__ = [
+    "Bitstream",
+    "BitstreamStore",
+    "CompiledAccelerator",
+    "DEVICE_TYPES",
+    "FPGAModel",
+    "FloorplanQuality",
+    "LowLevelController",
+    "PhysicalFPGA",
+    "VirtualBlockState",
+    "VitalCompiler",
+    "XCKU115",
+    "XCVU37P",
+    "achieved_frequency",
+]

@@ -1,0 +1,120 @@
+"""FPGA device models.
+
+The evaluation cluster (paper Section 4.2) has three Xilinx Virtex
+UltraScale+ XCVU37P parts and one Kintex UltraScale XCKU115.  Device totals
+are back-derived from Table 2's utilisation percentages (e.g. 610k LUTs at
+46.8% => ~1303k LUTs on the VU37P); virtual-block capacities follow Table 3.
+
+Each device type carries a ViTAL-style grid of identical virtual blocks;
+one block per device is reserved for the static shell (PCIe/DRAM/network),
+leaving ``usable_blocks`` for accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resources import ResourceVector
+from ..units import mbit, mhz
+
+
+@dataclass(frozen=True)
+class FPGAModel:
+    """One FPGA device type and its virtualized view.
+
+    Attributes:
+        name: marketing part name.
+        resources: total device resources.
+        block_capacity: resources of one virtual block.
+        total_blocks: virtual blocks in the grid.
+        shell_blocks: blocks reserved out of the grid (0 by default: the
+            grid is laid out beside the static shell region, which the
+            block capacities already exclude — device totals exceed the
+            sum of block capacities).
+        frequency_hz: clock achieved by floorplanned designs on this part.
+        has_uram: whether the part provides UltraRAM.
+        peripherals: interfaces the shell exposes to accelerators; a
+            cluster is only feasible on devices providing the interfaces it
+            requires (paper Section 2.2.2: "sufficient amount of resource
+            and the required interfaces to peripherals").
+    """
+
+    name: str
+    resources: ResourceVector
+    block_capacity: ResourceVector
+    total_blocks: int
+    shell_blocks: int = 0
+    frequency_hz: float = mhz(400)
+    has_uram: bool = True
+    peripherals: frozenset = frozenset({"pcie", "dram", "network"})
+
+    @property
+    def usable_blocks(self) -> int:
+        """Blocks available to accelerators."""
+        return self.total_blocks - self.shell_blocks
+
+    def blocks_needed(self, demand: ResourceVector) -> int:
+        """Virtual blocks required to host ``demand`` (binding-resource
+        ceiling; ``inf`` ratios mean the demand can never fit)."""
+        import math
+
+        ratio = demand.max_ratio(self.block_capacity)
+        if ratio == math.inf:
+            return self.total_blocks + 1  # sentinel: infeasible
+        return max(1, math.ceil(ratio))
+
+    def fits(self, demand: ResourceVector) -> bool:
+        """True when ``demand`` fits the usable blocks of one device."""
+        return self.blocks_needed(demand) <= self.usable_blocks
+
+    def provides(self, required_peripherals) -> bool:
+        """True when the shell exposes every required interface."""
+        return set(required_peripherals) <= self.peripherals
+
+
+#: Virtex UltraScale+ XCVU37P: 16 virtual blocks of ~79k LUTs / 580 DSPs.
+XCVU37P = FPGAModel(
+    name="XCVU37P",
+    resources=ResourceVector(
+        luts=1_303_000,
+        ffs=2_605_000,
+        bram_bits=mbit(70.9),
+        uram_bits=mbit(270.0),
+        dsps=9024,
+    ),
+    block_capacity=ResourceVector(
+        luts=79_000,
+        ffs=158_400,
+        bram_bits=mbit(4.3),
+        uram_bits=mbit(16.5),
+        dsps=580,
+    ),
+    total_blocks=16,
+    frequency_hz=mhz(400),
+    has_uram=True,
+)
+
+#: Kintex UltraScale XCKU115: 10 virtual blocks of ~50.6k LUTs / 552 DSPs.
+XCKU115 = FPGAModel(
+    name="XCKU115",
+    resources=ResourceVector(
+        luts=663_700,
+        ffs=1_326_000,
+        bram_bits=mbit(75.9),
+        uram_bits=0.0,
+        dsps=5520,
+    ),
+    block_capacity=ResourceVector(
+        luts=50_600,
+        ffs=83_500,
+        bram_bits=mbit(5.2),
+        uram_bits=0.0,
+        dsps=552,
+    ),
+    total_blocks=10,
+    frequency_hz=mhz(300),
+    has_uram=False,
+)
+
+#: The heterogeneous device-type registry.
+DEVICE_TYPES = {model.name: model for model in (XCVU37P, XCKU115)}

@@ -1,0 +1,92 @@
+"""Physical FPGA instances and their virtual-block occupancy.
+
+A :class:`PhysicalFPGA` is one board in the cluster: a device model plus the
+runtime state of its virtual blocks.  The runtime allocator reserves
+contiguous block counts (ViTAL compiles each cluster for a block *count*,
+not specific positions — blocks are identical, so any free subset works),
+and different accelerators share one device by occupying disjoint blocks
+(the paper's fine-grained spatial sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from .device import FPGAModel
+
+
+@dataclass
+class VirtualBlockState:
+    """Occupancy record for one virtual block."""
+
+    index: int
+    owner: str | None = None  # deployment id, None when free
+
+    @property
+    def free(self) -> bool:
+        return self.owner is None
+
+
+class PhysicalFPGA:
+    """One physical board: device model + virtual-block occupancy."""
+
+    def __init__(self, fpga_id: str, model: FPGAModel):
+        self.fpga_id = fpga_id
+        self.model = model
+        self.blocks = [
+            VirtualBlockState(index=i) for i in range(model.usable_blocks)
+        ]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(1 for block in self.blocks if block.free)
+
+    @property
+    def used_blocks(self) -> int:
+        return len(self.blocks) - self.free_blocks
+
+    def owners(self) -> set:
+        """Deployment ids currently resident on this board."""
+        return {block.owner for block in self.blocks if block.owner is not None}
+
+    def can_host(self, block_count: int) -> bool:
+        return 0 < block_count <= self.free_blocks
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate(self, owner: str, block_count: int) -> list:
+        """Reserve ``block_count`` free blocks for ``owner``.
+
+        Returns the reserved block indices; raises
+        :class:`AllocationError` when insufficient blocks are free.
+        """
+        if block_count <= 0:
+            raise AllocationError(f"{self.fpga_id}: block count must be positive")
+        free = [block for block in self.blocks if block.free]
+        if len(free) < block_count:
+            raise AllocationError(
+                f"{self.fpga_id}: requested {block_count} blocks, "
+                f"{len(free)} free"
+            )
+        taken = free[:block_count]
+        for block in taken:
+            block.owner = owner
+        return [block.index for block in taken]
+
+    def release(self, owner: str) -> int:
+        """Free every block held by ``owner``; returns the count released."""
+        released = 0
+        for block in self.blocks:
+            if block.owner == owner:
+                block.owner = None
+                released += 1
+        return released
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PhysicalFPGA({self.fpga_id!r}, {self.model.name}, "
+            f"{self.used_blocks}/{len(self.blocks)} blocks used)"
+        )

@@ -1,0 +1,150 @@
+"""DeepBench-style benchmark models (paper Section 4.1, first benchmark set).
+
+DeepBench collects representative layers from production DNN models; the
+paper measures GRU/LSTM inference latency at batch size one.  Table 4's
+seven configurations are reproduced exactly; the pool is extended with the
+larger sizes the system evaluation needs (the Table 1 footnote defines the
+S/M/L classes by hidden size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.codegen import RNNWeights, make_codegen
+from ..errors import ReproError
+from ..isa.program import Program
+
+
+def size_class_of(hidden: int) -> str:
+    """Table 1 footnote: S <= 1024 < M <= 2048 < L."""
+    if hidden <= 1024:
+        return "S"
+    if hidden <= 2048:
+        return "M"
+    return "L"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One benchmark model: kind, hidden size, sequence length."""
+
+    kind: str
+    hidden: int
+    timesteps: int
+    input_dim: int | None = None
+
+    def __post_init__(self):
+        if self.kind not in ("gru", "lstm"):
+            raise ReproError(f"unknown model kind {self.kind!r}")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"gru-h1024-t1500"``."""
+        return f"{self.kind}-h{self.hidden}-t{self.timesteps}"
+
+    @property
+    def size_class(self) -> str:
+        return size_class_of(self.hidden)
+
+    @property
+    def gates(self) -> int:
+        return 3 if self.kind == "gru" else 4
+
+    @property
+    def effective_input_dim(self) -> int:
+        return self.input_dim or self.hidden
+
+    @property
+    def parameter_count(self) -> int:
+        """Weight-matrix parameters (biases negligible)."""
+        h, d = self.hidden, self.effective_input_dim
+        return self.gates * (h * d + h * h)
+
+    def weight_bits(self, bits_per_weight: int) -> int:
+        return self.parameter_count * bits_per_weight
+
+    # -- program construction ----------------------------------------------------
+
+    def metadata_weights(self) -> RNNWeights:
+        """Weight container without tensors — enough for codegen/timing."""
+        return RNNWeights(
+            kind=self.kind,
+            hidden=self.hidden,
+            input_dim=self.effective_input_dim,
+            w=[None] * self.gates,
+            u=[None] * self.gates,
+            b=[None] * self.gates,
+        )
+
+    def program(self, replicas: int = 1, replica_index: int = 0) -> Program:
+        """The ISA program for one (possibly scaled-down) replica."""
+        return make_codegen(
+            self.kind,
+            self.metadata_weights(),
+            self.timesteps,
+            replicas=replicas,
+            replica_index=replica_index,
+        ).build()
+
+    def real_weights(self, seed: int = 0) -> RNNWeights:
+        """Actual random tensors (functional simulation only — large!)."""
+        return RNNWeights.random(
+            self.kind, self.hidden, self.effective_input_dim, seed=seed
+        )
+
+
+#: Table 4's seven benchmark configurations, in table order.
+TABLE4_BENCHMARKS = (
+    ModelSpec("gru", 512, 1),
+    ModelSpec("gru", 1024, 1500),
+    ModelSpec("gru", 1536, 375),
+    ModelSpec("lstm", 256, 150),
+    ModelSpec("lstm", 512, 25),
+    ModelSpec("lstm", 1024, 25),
+    ModelSpec("lstm", 1536, 50),
+)
+
+#: The model pool by size class, used by the synthetic workload sets.  Kept
+#: to a serving-realistic working set per class (weights of resident models
+#: must largely fit the cluster, as in any persistent-NN deployment).
+MODEL_POOL = {
+    "S": (
+        ModelSpec("gru", 512, 1),
+        ModelSpec("lstm", 256, 150),
+        ModelSpec("lstm", 512, 25),
+    ),
+    "M": (
+        ModelSpec("gru", 1536, 375),
+        ModelSpec("lstm", 1536, 50),
+    ),
+    # L models need two FPGAs (weights exceed one device).  gru-2304
+    # replicas fit either device type, so the proposed system can pair a
+    # XCVU37P with the XCKU115 while the restricted (same-type-only) policy
+    # cannot — the heterogeneity benefit of Fig. 12.
+    "L": (
+        ModelSpec("gru", 2304, 250),
+    ),
+}
+
+_ALL_MODELS = {
+    spec.key: spec
+    for specs in ([*TABLE4_BENCHMARKS], *[list(v) for v in MODEL_POOL.values()])
+    for spec in specs
+}
+# Fig. 11's two-FPGA models.
+for _extra in (ModelSpec("gru", 1024, 1500), ModelSpec("gru", 2560, 375)):
+    _ALL_MODELS.setdefault(_extra.key, _extra)
+
+
+def model_by_key(key: str) -> ModelSpec:
+    """Resolve a model key back to its spec."""
+    try:
+        return _ALL_MODELS[key]
+    except KeyError:
+        raise ReproError(f"unknown benchmark model {key!r}") from None
+
+
+def all_models() -> list:
+    """Every registered benchmark model, stable order."""
+    return [_ALL_MODELS[key] for key in sorted(_ALL_MODELS)]

@@ -1,0 +1,182 @@
+"""Cycle-model tests: per-instruction costs, fit rules, virtualization
+overheads and monotonicity properties."""
+
+import pytest
+
+from repro.accel import BW_K115, BW_V37, CycleModel
+from repro.accel.timing import (
+    ModelDoesNotFitError,
+    TimingParameters,
+    VirtualizationContext,
+)
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    mv_mul,
+    v_rd,
+    vv_add,
+)
+from repro.workloads.deepbench import ModelSpec
+
+
+def _mv(rows, cols):
+    from dataclasses import replace
+
+    return replace(mv_mul(0, 0, 1, rows), imm=float(cols))
+
+
+class TestInstructionCycles:
+    def setup_method(self):
+        self.model = CycleModel(BW_V37)
+
+    def test_mv_mul_pool_model(self):
+        streaming, fixed = self.model.instruction_cycles(_mv(1024, 1024))
+        import math
+
+        blocks = math.ceil(1024 / 128) * math.ceil(1024 / 16)
+        assert streaming == math.ceil(blocks / 21)
+        assert fixed == self.model.params.mvu_depth + self.model.params.decode_cycles
+
+    def test_mv_mul_streaming_penalty(self):
+        full, _ = self.model.instruction_cycles(_mv(1024, 1024), 1.0)
+        partial, _ = self.model.instruction_cycles(_mv(1024, 1024), 0.5)
+        assert partial == pytest.approx(full * 2.0)
+
+    def test_mfu_scales_with_lanes(self):
+        long_op, _ = self.model.instruction_cycles(vv_add(0, 1, 2, 4096))
+        short_op, _ = self.model.instruction_cycles(vv_add(0, 1, 2, 64))
+        assert long_op > short_op
+
+    def test_dram_transfer(self):
+        streaming, fixed = self.model.instruction_cycles(v_rd(0, 0x100, 1024))
+        assert streaming == pytest.approx(1024 * 2 / 64)
+        assert fixed > 0
+
+    def test_sync_free_here(self):
+        from repro.isa.instructions import SYNC_ADDRESS
+
+        streaming, fixed = self.model.instruction_cycles(
+            v_rd(0, SYNC_ADDRESS, 1024)
+        )
+        assert streaming == 0.0  # accounted by the overlap model
+
+    def test_control_ops_cheap(self):
+        streaming, fixed = self.model.instruction_cycles(Instruction(Op.NOP))
+        assert streaming == 0.0
+        assert fixed == self.model.params.decode_cycles
+
+
+class TestLatency:
+    def _program(self, spec=ModelSpec("gru", 512, 10)):
+        return spec.program()
+
+    def test_more_tiles_never_slower(self):
+        program = self._program(ModelSpec("gru", 512, 10))
+        few = CycleModel(BW_V37.with_tiles(5)).latency(program)
+        many = CycleModel(BW_V37).latency(program)
+        assert many.seconds <= few.seconds
+
+    def test_longer_sequence_scales(self):
+        short = CycleModel(BW_V37).latency(self._program(ModelSpec("gru", 512, 10)))
+        long = CycleModel(BW_V37).latency(self._program(ModelSpec("gru", 512, 100)))
+        assert long.cycles == pytest.approx(short.cycles * 10, rel=0.02)
+
+    def test_weight_loads_excluded_by_default(self):
+        program = self._program()
+        with_loads = CycleModel(BW_V37).latency(program, exclude_tags=frozenset())
+        without = CycleModel(BW_V37).latency(program)
+        assert with_loads.cycles > without.cycles
+
+    def test_invocation_overhead_included(self):
+        report = CycleModel(BW_V37).latency(self._program())
+        assert report.invocation_seconds == pytest.approx(
+            CycleModel(BW_V37).params.invocation_overhead_s
+        )
+
+    def test_invocation_can_be_excluded(self):
+        report = CycleModel(BW_V37).latency(
+            self._program(), include_invocation=False
+        )
+        assert report.invocation_seconds == 0.0
+
+    def test_k115_slower_than_v37(self):
+        program = self._program(ModelSpec("gru", 1024, 100))
+        v37 = CycleModel(BW_V37).latency(program)
+        k115 = CycleModel(BW_K115).latency(program)
+        assert k115.seconds > v37.seconds
+
+
+class TestFitRules:
+    def test_small_model_fits_everywhere(self):
+        program = ModelSpec("gru", 512, 1).program()
+        assert CycleModel(BW_V37).fits(program)
+        assert CycleModel(BW_K115).fits(program)
+
+    def test_lstm1536_does_not_fit_k115(self):
+        """Table 4's dash."""
+        program = ModelSpec("lstm", 1536, 50).program()
+        assert CycleModel(BW_V37).fits(program)
+        assert not CycleModel(BW_K115).fits(program)
+        with pytest.raises(ModelDoesNotFitError):
+            CycleModel(BW_K115).latency(program)
+
+    def test_gru2560_needs_two_fpgas(self):
+        """Fig. 11's premise: the large GRU only runs split in two."""
+        spec = ModelSpec("gru", 2560, 10)
+        whole = spec.program()
+        half = spec.program(replicas=2, replica_index=0)
+        assert not CycleModel(BW_V37).fits(whole)
+        assert CycleModel(BW_V37).fits(half)
+
+
+class TestVirtualization:
+    def _overhead(self, spec, pattern_aware=True):
+        program = spec.program()
+        model = CycleModel(BW_V37)
+        return model.overhead_vs_baseline(
+            program,
+            VirtualizationContext(virtual_blocks=14, pattern_aware=pattern_aware),
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ModelSpec("gru", 512, 1),
+            ModelSpec("gru", 1024, 1500),
+            ModelSpec("lstm", 512, 25),
+            ModelSpec("lstm", 1536, 50),
+        ],
+    )
+    def test_overhead_in_paper_band(self, spec):
+        """Table 4's headline: virtualization costs only 3-9%."""
+        overhead = self._overhead(spec)
+        assert 0.03 <= overhead <= 0.09
+
+    def test_naive_partitioning_costs_more(self):
+        """The ablation behind 'we use the partition tool provided by this
+        framework instead of ViTAL's' (Section 4.3)."""
+        spec = ModelSpec("gru", 1024, 100)
+        aware = self._overhead(spec, pattern_aware=True)
+        naive = self._overhead(spec, pattern_aware=False)
+        assert naive > 1.5 * aware
+
+    def test_virtualized_never_faster(self):
+        program = ModelSpec("lstm", 512, 25).program()
+        model = CycleModel(BW_V37)
+        base = model.latency(program)
+        virt = model.latency(
+            program, virtualization=VirtualizationContext(virtual_blocks=10)
+        )
+        assert virt.seconds > base.seconds
+        assert virt.interface_cycles > 0
+
+    def test_custom_timing_parameters(self):
+        params = TimingParameters(interface_stages=8)
+        program = ModelSpec("gru", 512, 10).program()
+        cheap = CycleModel(BW_V37).latency(
+            program, virtualization=VirtualizationContext(5)
+        )
+        pricey = CycleModel(BW_V37, params).latency(
+            program, virtualization=VirtualizationContext(5)
+        )
+        assert pricey.interface_cycles > cheap.interface_cycles

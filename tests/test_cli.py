@@ -1,0 +1,77 @@
+"""CLI tests (``python -m repro``)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(*argv) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0
+    return out.getvalue()
+
+
+class TestInventory:
+    def test_lists_instances_and_devices(self):
+        text = _run("inventory")
+        assert "BW-V37" in text and "XCKU115" in text
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestDecompose:
+    def test_prints_tree(self):
+        text = _run("decompose", "--tiles", "3", "--depth", "2")
+        assert "data-parallel x3" in text
+        assert "scale-down applicable: True" in text
+
+    def test_device_selection(self):
+        text = _run("decompose", "--tiles", "3", "--device", "XCKU115")
+        assert "URAM=0" in text  # KU115 memory plan has no URAM
+
+
+class TestPartition:
+    def test_prints_frontiers(self):
+        text = _run("partition", "--tiles", "4", "--iterations", "2")
+        assert "block #1" in text
+        assert "frontier sizes: [1, 2, 3, 3, 4]" in text
+
+    def test_zero_iterations(self):
+        text = _run("partition", "--tiles", "4", "--iterations", "0")
+        assert "frontier sizes: [1]" in text
+
+
+class TestAssembleDisassemble:
+    def test_roundtrip_through_files(self, tmp_path):
+        source = tmp_path / "prog.s"
+        binary = tmp_path / "prog.bin"
+        source.write_text(
+            "v_fill v0, 1.0, 8\nloop 3\nvv_add v1, v0, v0, 8\nendloop\nhalt\n"
+        )
+        text = _run("assemble", str(source), str(binary))
+        assert "5 instructions -> 80 bytes" in text
+        listing = _run("disassemble", str(binary))
+        assert "vv_add v1, v0, v0, 8" in listing
+        assert "loop 3" in listing
+
+
+class TestExperimentCommands:
+    def test_table2(self):
+        assert "BW-V37" in _run("table2")
+
+    def test_table3(self):
+        assert "virtual block" in _run("table3")
+
+    def test_isolation(self):
+        text = _run("isolation")
+        assert "performance isolation" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,228 @@
+"""Cluster-substrate tests: event queue, ring network, topology and the
+discrete-event simulator."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    EventQueue,
+    FPGACluster,
+    NetworkParameters,
+    RingNetwork,
+    Task,
+    paper_cluster,
+)
+from repro.cluster.topology import homogeneous_cluster
+from repro.errors import SimulationError
+from repro.units import us
+from repro.vital import XCKU115, XCVU37P, PhysicalFPGA
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, fired.append, "late")
+        queue.schedule(1.0, fired.append, "early")
+        queue.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_insertion(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, fired.append, "first")
+        queue.schedule(1.0, fired.append, "second")
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_relative(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: queue.schedule_in(0.5, fired.append, "x"))
+        queue.run()
+        assert queue.now == pytest.approx(1.5)
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(SimulationError):
+            queue.schedule(0.5, lambda: None)
+
+    def test_run_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, fired.append, "a")
+        queue.schedule(5.0, fired.append, "b")
+        queue.run(until=2.0)
+        assert fired == ["a"]
+        assert queue.now == 2.0
+
+    def test_runaway_detected(self):
+        queue = EventQueue()
+
+        def rearm():
+            queue.schedule_in(0.001, rearm)
+
+        queue.schedule(0.0, rearm)
+        with pytest.raises(SimulationError, match="runaway"):
+            queue.run(max_events=100)
+
+
+class TestRingNetwork:
+    def _ring(self, nodes=4, **kwargs):
+        ids = [f"n{i}" for i in range(nodes)]
+        return RingNetwork(ids, NetworkParameters(**kwargs))
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(SimulationError):
+            RingNetwork(["solo"])
+
+    def test_hops_shortest_direction(self):
+        ring = self._ring(4)
+        assert ring.hops("n0", "n1") == 1
+        assert ring.hops("n0", "n3") == 1  # wraps around
+        assert ring.hops("n0", "n2") == 2
+
+    def test_unknown_node(self):
+        with pytest.raises(SimulationError):
+            self._ring().hops("n0", "ghost")
+
+    def test_diameter(self):
+        assert self._ring(4).diameter() == 2
+        assert self._ring(5).diameter() == 2
+
+    def test_transfer_time_zero_same_node(self):
+        assert self._ring().transfer_time("n0", "n0", 1000) == 0.0
+
+    def test_transfer_time_scales_with_bytes_and_hops(self):
+        ring = self._ring(4)
+        one = ring.transfer_time("n0", "n1", 1024)
+        two_hops = ring.transfer_time("n0", "n2", 1024)
+        bigger = ring.transfer_time("n0", "n1", 4096)
+        assert two_hops > one
+        assert bigger > one
+
+    def test_added_latency_knob(self):
+        """The Fig. 11 counter+FIFO module: a pure additive delay."""
+        ring = self._ring()
+        base = ring.exchange_time(["n0", "n1"], 512)
+        delayed = ring.exchange_time(["n0", "n1"], 512, added_latency_s=us(0.6))
+        assert delayed - base == pytest.approx(us(0.6))
+
+    def test_exchange_single_member_free(self):
+        assert self._ring().exchange_time(["n0"], 512) == 0.0
+
+    def test_exchange_worst_pair_dominates(self):
+        ring = self._ring(6)
+        near = ring.exchange_time(["n0", "n1"], 256)
+        far = ring.exchange_time(["n0", "n3"], 256)
+        assert far > near
+
+
+class TestTopology:
+    def test_paper_cluster_composition(self):
+        cluster = paper_cluster()
+        assert len(cluster.boards) == 4
+        assert len(cluster.boards_of_type("XCVU37P")) == 3
+        assert len(cluster.boards_of_type("XCKU115")) == 1
+        assert cluster.device_types() == ["XCVU37P", "XCKU115"]
+
+    def test_total_free_blocks(self):
+        free = paper_cluster().total_free_blocks()
+        assert free == {"XCVU37P": 48, "XCKU115": 10}
+
+    def test_reset_releases_everything(self):
+        cluster = paper_cluster()
+        cluster.board("vu37p-0").allocate("d", 5)
+        cluster.reset()
+        assert cluster.board("vu37p-0").free_blocks == 16
+
+    def test_duplicate_ids_rejected(self):
+        boards = [PhysicalFPGA("same", XCVU37P), PhysicalFPGA("same", XCKU115)]
+        with pytest.raises(SimulationError):
+            FPGACluster(boards)
+
+    def test_unknown_board(self):
+        with pytest.raises(SimulationError):
+            paper_cluster().board("nope")
+
+    def test_homogeneous_helper(self):
+        cluster = homogeneous_cluster(XCKU115, 3)
+        assert len(cluster.boards) == 3
+        assert cluster.device_types() == ["XCKU115"]
+
+
+class _OneSlotScheduler:
+    """Test double: one task at a time, fixed service."""
+
+    def __init__(self, service=1.0):
+        self.service = service
+        self.busy = False
+        self.started = []
+
+    def try_start(self, task, now):
+        if self.busy:
+            return None
+        self.busy = True
+        self.started.append(task.task_id)
+        return self.service
+
+    def on_finish(self, task, now):
+        self.busy = False
+
+
+class TestClusterSimulator:
+    def _tasks(self, count, gap=0.0):
+        return [
+            Task(task_id=i, model_key="m", arrival_s=i * gap, size_class="S")
+            for i in range(count)
+        ]
+
+    def test_serialises_on_one_slot(self):
+        scheduler = _OneSlotScheduler(service=1.0)
+        result = ClusterSimulator(scheduler, "test").run(self._tasks(3))
+        assert len(result.completed) == 3
+        assert result.makespan_s == pytest.approx(3.0)
+        assert result.throughput == pytest.approx(1.0)
+
+    def test_latency_accounts_queueing(self):
+        scheduler = _OneSlotScheduler(service=1.0)
+        result = ClusterSimulator(scheduler, "test").run(self._tasks(2))
+        by_id = {t.task_id: t for t in result.completed}
+        assert by_id[0].latency_s == pytest.approx(1.0)
+        assert by_id[1].latency_s == pytest.approx(2.0)
+
+    def test_no_tasks_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterSimulator(_OneSlotScheduler(), "t").run([])
+
+    def test_negative_service_rejected(self):
+        class Bad:
+            def try_start(self, task, now):
+                return -1.0
+
+            def on_finish(self, task, now):
+                pass
+
+        with pytest.raises(SimulationError, match="negative"):
+            ClusterSimulator(Bad(), "t").run(self._tasks(1))
+
+    def test_never_placeable_detected(self):
+        class Never:
+            def try_start(self, task, now):
+                return None
+
+            def on_finish(self, task, now):  # pragma: no cover
+                pass
+
+        with pytest.raises(SimulationError):
+            ClusterSimulator(Never(), "t").run(self._tasks(1))
+
+    def test_per_class_counts(self):
+        scheduler = _OneSlotScheduler(service=0.1)
+        tasks = self._tasks(4)
+        for task in tasks[:2]:
+            task.size_class = "L"
+        result = ClusterSimulator(scheduler, "t").run(tasks)
+        assert result.per_class_counts() == {"L": 2, "S": 2}

@@ -1,0 +1,236 @@
+"""Decomposing-tool tests: the five-step flow on hand-built and generated
+designs (paper Section 2.2.1)."""
+
+import pytest
+
+from repro.accel import BW_K115, BW_V37, CONTROL_MODULES, generate_accelerator
+from repro.core import PatternKind, decompose
+from repro.core.decompose import Decomposer
+from repro.errors import DecomposeError
+from repro.resources import ResourceVector
+from repro.rtl import design_resources
+from repro.rtl.builder import DesignBuilder
+
+
+class TestControlDataSplit:
+    def test_control_block_role(self, mini_decomposed):
+        from repro.core import BlockRole
+
+        assert mini_decomposed.control.role is BlockRole.CONTROL
+
+    def test_control_collects_marked_instances(self, mini_decomposed):
+        assert mini_decomposed.control.metadata["instances"] == ["dec"]
+
+    def test_resources_conserved(self, mini_design, mini_decomposed):
+        total = mini_decomposed.total_resources()
+        assert list(total) == pytest.approx(list(design_resources(mini_design)))
+
+    def test_missing_control_mark_raises(self, mini_design):
+        with pytest.raises(DecomposeError, match="control"):
+            decompose(mini_design, control_modules={"not_a_module"})
+
+    def test_all_control_raises(self, mini_design):
+        every = set(mini_design.modules)
+        with pytest.raises(DecomposeError):
+            decompose(mini_design, control_modules=every)
+
+    def test_control_by_instance_path_segment(self, mini_design):
+        # Marking by instance name also works (paths are matched).
+        result = decompose(mini_design, control_modules={"dec"})
+        assert result.control.metadata["instances"] == ["dec"]
+
+
+class TestPatternExtraction:
+    def test_mini_design_data_root(self, mini_decomposed):
+        root = mini_decomposed.data_root
+        assert root.kind is PatternKind.DATA
+        assert len(root.children) == 4
+
+    def test_lanes_are_pipelines(self, mini_decomposed):
+        for lane in mini_decomposed.data_root.children:
+            assert lane.kind is PatternKind.PIPELINE
+            assert len(lane.children) == 3
+
+    def test_scale_down_supported(self, mini_decomposed):
+        assert mini_decomposed.supports_scale_down()
+        assert mini_decomposed.root_pattern is PatternKind.DATA
+
+    def test_pipeline_bandwidths_recorded(self, mini_decomposed):
+        lane = mini_decomposed.data_root.children[0]
+        # stage_a -> stage_b over a 32-bit net, stage_b -> stage_c over 24.
+        assert lane.children[0].out_bits == 32
+        assert lane.children[1].out_bits == 24
+
+    def test_stats_counters(self, mini_decomposed):
+        stats = mini_decomposed.stats
+        assert stats.basic_blocks == 12  # 4 lanes x 3 stages
+        assert stats.control_blocks == 1
+        assert stats.pipeline_merges >= 1
+        assert stats.data_merges >= 1
+        assert stats.residual_roots == 1
+
+    def test_pure_pipeline_design(self):
+        db = DesignBuilder("chain")
+        for name in ("s0", "s1", "s2"):
+            m = db.module(name)
+            m.inputs("clk", ("i", 8)).outputs(("o", 8))
+            m.instance("g", "DFF", clk="clk")
+            m.build()
+        m = db.module("ctl")
+        m.inputs("clk").outputs(("c", 4))
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk", ("x", 8)).outputs(("y", 8))
+        m.nets(("a", 8), ("b", 8), ("c", 4))
+        m.instance("c0", "ctl", clk="clk", c="c")
+        m.instance("u0", "s0", clk="clk", i="x", o="a")
+        m.instance("u1", "s1", clk="clk", i="a", o="b")
+        m.instance("u2", "s2", clk="clk", i="b", o="y")
+        m.build()
+        db.top("top")
+        result = decompose(db.build(), control_modules={"ctl"})
+        assert result.data_root.kind is PatternKind.PIPELINE
+        assert len(result.data_root.children) == 3
+        assert not result.supports_scale_down()
+
+    def test_intra_block_lanes_extracted(self):
+        """A basic module with equivalent independent components splits
+        (paper Fig. 4a)."""
+        db = DesignBuilder("intra")
+        m = db.module("ctl")
+        m.inputs("clk")
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("simd")
+        m.inputs("clk", ("v", 64)).outputs(("o", 64))
+        for lane in range(4):
+            m.net(f"mid{lane}", 16)
+            m.instance(f"mul{lane}", "FP16_MUL", clk="clk", y=f"mid{lane}")
+            m.instance(f"add{lane}", "FP16_ADD", clk="clk", a=f"mid{lane}")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk", ("v", 64)).outputs(("o", 64))
+        m.instance("c", "ctl", clk="clk")
+        m.instance("s", "simd", clk="clk", v="v", o="o")
+        m.build()
+        db.top("top")
+        result = decompose(db.build(), control_modules={"ctl"})
+        assert result.data_root.kind is PatternKind.DATA
+        assert len(result.data_root.children) == 4
+        assert result.stats.intra_block_splits == 1
+
+    def test_intra_block_disabled(self):
+        tool = Decomposer(extract_intra_block=False)
+        db = DesignBuilder("intra2")
+        m = db.module("ctl")
+        m.inputs("clk")
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("simd")
+        m.inputs("clk")
+        m.instance("a", "NOT")
+        m.instance("b", "NOT")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk")
+        m.instance("c", "ctl", clk="clk")
+        m.instance("s", "simd", clk="clk")
+        m.build()
+        db.top("top")
+        result = tool.decompose(db.build(), control_modules={"ctl"})
+        assert result.stats.intra_block_splits == 0
+
+    def test_heterogeneous_components_not_split(self):
+        """Independent but non-equivalent components stay one leaf."""
+        db = DesignBuilder("het")
+        m = db.module("ctl")
+        m.inputs("clk")
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("mixed")
+        m.inputs("clk")
+        m.instance("a", "FP16_MUL", clk="clk")
+        m.instance("b", "INT_ADD")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk")
+        m.instance("c", "ctl", clk="clk")
+        m.instance("s", "mixed", clk="clk")
+        m.build()
+        db.top("top")
+        result = decompose(db.build(), control_modules={"ctl"})
+        assert result.stats.intra_block_splits == 0
+
+
+class TestGeneratedAccelerator:
+    @pytest.mark.parametrize("tiles", [2, 5, 21])
+    def test_v37_decomposes_to_data_root(self, tiles):
+        config = BW_V37.with_tiles(tiles, name=f"t{tiles}")
+        result = decompose(generate_accelerator(config), CONTROL_MODULES)
+        assert result.data_root.kind is PatternKind.DATA
+        assert len(result.data_root.children) == tiles
+        assert result.supports_scale_down()
+
+    def test_lane_pipeline_depth(self, small_accel_decomposed):
+        lane = small_accel_decomposed.data_root.children[0]
+        assert lane.kind is PatternKind.PIPELINE
+        # weight_mem -> mac_array -> lane_acc -> mfu_slice
+        assert len(lane.children) == 4
+
+    def test_k115_instance(self):
+        result = decompose(
+            generate_accelerator(BW_K115.with_tiles(3, name="k3")),
+            CONTROL_MODULES,
+        )
+        assert result.data_root.kind is PatternKind.DATA
+        # K115 memory plan uses no URAM.
+        assert result.data_root.resources().uram_bits == 0
+
+    def test_lanes_structurally_equivalent(self, small_accel_decomposed):
+        signatures = {
+            child.signature
+            for child in small_accel_decomposed.data_root.children
+        }
+        assert len(signatures) == 1
+
+    def test_decomposition_deterministic(self, small_accel_config):
+        a = decompose(generate_accelerator(small_accel_config), CONTROL_MODULES)
+        b = decompose(generate_accelerator(small_accel_config), CONTROL_MODULES)
+        assert a.data_root.signature == b.data_root.signature
+        assert a.stats.basic_blocks == b.stats.basic_blocks
+
+
+class TestEdgeCases:
+    def test_empty_data_path_rejected(self):
+        db = DesignBuilder("d")
+        m = db.module("ctl")
+        m.inputs("clk")
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk")
+        m.instance("c", "ctl", clk="clk")
+        m.build()
+        db.top("top")
+        with pytest.raises(DecomposeError):
+            decompose(db.build(), control_modules={"ctl"})
+
+    def test_single_data_block(self):
+        db = DesignBuilder("single")
+        m = db.module("ctl")
+        m.inputs("clk")
+        m.instance("g", "DFF", clk="clk")
+        m.build()
+        m = db.module("worker")
+        m.inputs("clk")
+        m.instance("g", "FP16_MUL", clk="clk")
+        m.build()
+        m = db.module("top")
+        m.inputs("clk")
+        m.instance("c", "ctl", clk="clk")
+        m.instance("w", "worker", clk="clk")
+        m.build()
+        db.top("top")
+        result = decompose(db.build(), control_modules={"ctl"})
+        assert result.data_root.kind is PatternKind.LEAF

@@ -1,0 +1,137 @@
+"""Tests for the pattern-oblivious partitioner and its comparison with the
+pattern-guided tool (the search-space-pruning claim of Section 2.2.2)."""
+
+import pytest
+
+from repro.core import PatternKind, decompose
+from repro.core.flat_partition import (
+    compare_partitioners,
+    flat_bipartition,
+    leaf_connectivity_graph,
+    pipelines_cut,
+)
+from repro.core.softblock import data_block, leaf_block, pipeline_block
+from repro.errors import PartitionError
+from repro.resources import ResourceVector
+
+
+def _leaf(name, in_bits=8, out_bits=8):
+    return leaf_block(
+        name,
+        resources=ResourceVector(luts=10.0),
+        in_bits=in_bits,
+        out_bits=out_bits,
+    )
+
+
+def _lane(index, stages=3, internal_bits=64):
+    children = []
+    for stage in range(stages):
+        children.append(
+            _leaf(f"lane{index}s{stage}", in_bits=internal_bits,
+                  out_bits=internal_bits)
+        )
+    lane = pipeline_block(f"lane{index}", children)
+    lane.in_bits = 16
+    lane.out_bits = 8
+    for child in children[:-1]:
+        child.out_bits = internal_bits
+    return lane
+
+
+def _simd_tree(lanes=4, stages=3):
+    tree = data_block("root", [_lane(i, stages) for i in range(lanes)])
+    tree.in_bits = 16 * lanes
+    tree.out_bits = 8 * lanes
+    return tree
+
+
+class TestLeafGraph:
+    def test_pipeline_edges_present(self):
+        tree = _simd_tree(lanes=2)
+        graph = leaf_connectivity_graph(tree)
+        # 2 lanes x 3 leaves + io node.
+        assert graph.number_of_nodes() == 7
+        # per lane: 2 internal edges; plus io edges to head and tail.
+        lane_edges = [
+            (a, b) for a, b, d in graph.edges(data=True)
+            if a != "io" and b != "io"
+        ]
+        assert len(lane_edges) == 4
+
+    def test_io_node_carries_scatter_gather(self):
+        graph = leaf_connectivity_graph(_simd_tree(lanes=2))
+        io_edges = [d["bits"] for _, _, d in graph.edges("io", data=True)]
+        assert len(io_edges) == 4  # head + tail per lane
+        # Weights come from the head/tail leaves' declared interfaces.
+        assert sum(io_edges) == 2 * (64 + 64)
+
+    def test_data_children_unconnected(self):
+        graph = leaf_connectivity_graph(_simd_tree(lanes=3))
+        lane_heads = [f"lane{i}s0" for i in range(3)]
+        leaves = {
+            data["block"].name: node
+            for node, data in graph.nodes(data=True)
+            if data["block"] is not None
+        }
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert not graph.has_edge(
+                    leaves[f"lane{i}s0"], leaves[f"lane{j}s0"]
+                )
+
+
+class TestFlatBipartition:
+    def test_balanced(self):
+        result = flat_bipartition(_simd_tree(lanes=4))
+        assert result.balance == pytest.approx(0.5, abs=0.1)
+
+    def test_rejects_single_leaf(self):
+        with pytest.raises(PartitionError):
+            flat_bipartition(_leaf("only"))
+
+    def test_deterministic_by_seed(self):
+        tree = _simd_tree(lanes=4)
+        a = flat_bipartition(tree, seed=1)
+        b = flat_bipartition(tree, seed=1)
+        assert a.left_leaf_ids == b.left_leaf_ids
+
+
+class TestPipelinesCut:
+    def test_zero_when_lanes_intact(self):
+        tree = _simd_tree(lanes=4)
+        lanes = tree.children
+        left = {leaf.block_id for lane in lanes[:2] for leaf in lane.leaves()}
+        assert pipelines_cut(tree, left) == 0
+
+    def test_counts_sliced_lanes(self):
+        tree = _simd_tree(lanes=2)
+        lane0 = tree.children[0]
+        left = {lane0.leaves()[0].block_id}  # strand one stage of lane 0
+        assert pipelines_cut(tree, left) == 1
+
+    def test_top_level_pipeline_not_a_lane(self):
+        # A pipeline NOT under a data node may be cut freely (that is the
+        # min-bandwidth cut the guided partitioner itself performs).
+        tree = pipeline_block("p", [_leaf("a"), _leaf("b")])
+        assert pipelines_cut(tree, {tree.leaves()[0].block_id}) == 0
+
+
+class TestComparison:
+    def test_guided_never_cuts_lanes_flat_may(self):
+        """On an odd lane count the balanced flat bisection must slice a
+        lane; the guided split never does."""
+        tree = _simd_tree(lanes=5, stages=4)
+        record = compare_partitioners(tree)
+        assert record["guided_pipelines_cut"] == 0
+        assert record["flat_pipelines_cut"] >= 1
+
+    def test_guided_faster_on_real_accelerator(self, small_accel_decomposed):
+        record = compare_partitioners(small_accel_decomposed.data_root)
+        assert record["guided_elapsed_s"] < record["flat_elapsed_s"]
+
+    def test_cut_quality_on_even_lanes(self):
+        """With even lanes both tools find the data-boundary cut."""
+        tree = _simd_tree(lanes=4)
+        record = compare_partitioners(tree)
+        assert record["guided_cut_bits"] <= record["flat_cut_bits"] * 1.05

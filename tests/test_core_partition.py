@@ -1,0 +1,181 @@
+"""Partitioning-tool tests (paper Section 2.2.2, Fig. 6), including the
+frontier/coverage invariants as hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PatternKind, partition
+from repro.core.partition import Partitioner
+from repro.core.softblock import data_block, leaf_block, pipeline_block
+from repro.errors import PartitionError
+from repro.resources import ResourceVector
+
+
+def _leaf(name, luts=10.0, in_bits=8, out_bits=8):
+    return leaf_block(
+        name,
+        resources=ResourceVector(luts=luts),
+        in_bits=in_bits,
+        out_bits=out_bits,
+    )
+
+
+class TestPipelineSplit:
+    def test_cut_at_minimum_bandwidth(self):
+        stages = [
+            _leaf("a", out_bits=64),
+            _leaf("b", out_bits=8),   # narrowest connection: cut here
+            _leaf("c", out_bits=128),
+            _leaf("d"),
+        ]
+        tree = partition(pipeline_block("p", stages), iterations=1)
+        root = tree.root
+        assert root.cut_bits == 8
+        assert [l.name for l in root.left.cluster.leaves()] == ["a", "b"]
+        assert [l.name for l in root.right.cluster.leaves()] == ["c", "d"]
+
+    def test_cut_kind_recorded(self):
+        tree = partition(
+            pipeline_block("p", [_leaf("a"), _leaf("b")]), iterations=1
+        )
+        assert tree.root.cut_kind is PatternKind.PIPELINE
+
+
+class TestDataSplit:
+    def test_even_halves(self):
+        lanes = [_leaf(f"l{i}") for i in range(6)]
+        tree = partition(data_block("d", lanes), iterations=1)
+        assert len(tree.root.left.cluster.leaves()) == 3
+        assert len(tree.root.right.cluster.leaves()) == 3
+
+    def test_odd_split_bias_left(self):
+        lanes = [_leaf(f"l{i}") for i in range(5)]
+        tree = partition(data_block("d", lanes), iterations=1)
+        assert len(tree.root.left.cluster.leaves()) == 3
+        assert len(tree.root.right.cluster.leaves()) == 2
+
+    def test_cut_counts_moved_half_io(self):
+        lanes = [_leaf(f"l{i}", in_bits=16, out_bits=4) for i in range(4)]
+        tree = partition(data_block("d", lanes), iterations=1)
+        assert tree.root.cut_bits == 2 * (16 + 4)
+
+
+class TestIterations:
+    def test_zero_iterations(self, mini_decomposed):
+        tree = partition(mini_decomposed, iterations=0)
+        assert not tree.root.is_split
+        assert tree.max_ways() == 1
+
+    def test_negative_iterations_rejected(self, mini_decomposed):
+        with pytest.raises(PartitionError):
+            partition(mini_decomposed, iterations=-1)
+
+    def test_two_iterations_give_up_to_four_ways(self, mini_partition):
+        assert mini_partition.max_ways() == 4
+
+    def test_leaf_cannot_split(self):
+        tree = partition(_leaf("only"), iterations=3)
+        assert tree.max_ways() == 1
+
+    def test_split_stops_at_leaves(self):
+        tree = partition(
+            data_block("d", [_leaf("a"), _leaf("b")]), iterations=5
+        )
+        assert tree.max_ways() == 2
+
+    def test_min_cluster_leaves(self):
+        lanes = [_leaf(f"l{i}") for i in range(8)]
+        tool = Partitioner(min_cluster_leaves=4)
+        tree = tool.partition(data_block("d", lanes), iterations=3)
+        assert tree.max_ways() == 2  # 8 -> 4+4, then blocked
+
+
+class TestFrontiers:
+    def test_frontiers_sorted_by_size(self, mini_partition):
+        sizes = [len(f) for f in mini_partition.frontiers()]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1
+
+    def test_frontier_of_size(self, mini_partition):
+        frontier = mini_partition.frontier_of_size(2)
+        assert len(frontier) == 2
+
+    def test_frontier_of_missing_size(self, mini_partition):
+        with pytest.raises(PartitionError):
+            mini_partition.frontier_of_size(7)
+
+    def test_fig6_three_device_frontier(self, mini_partition):
+        """Fig. 6: blocks #2, #3, #4 style frontier covering 3 devices."""
+        frontier = mini_partition.frontier_of_size(3)
+        leaves = sorted(
+            leaf.name for node in frontier for leaf in node.cluster.leaves()
+        )
+        all_leaves = sorted(
+            leaf.name for leaf in mini_partition.root.cluster.leaves()
+        )
+        assert leaves == all_leaves
+
+    def test_cut_bandwidth_zero_for_whole(self, mini_partition):
+        whole = mini_partition.frontier_of_size(1)
+        assert mini_partition.cut_bandwidth(whole) == 0
+
+    def test_cut_bandwidth_accumulates(self, mini_partition):
+        two = mini_partition.frontier_of_size(2)
+        four = mini_partition.frontier_of_size(4)
+        assert mini_partition.cut_bandwidth(four) > mini_partition.cut_bandwidth(
+            two
+        )
+
+
+# -- hypothesis: coverage and conservation invariants -------------------------
+
+
+@st.composite
+def pattern_trees(draw, depth=3):
+    if depth == 0 or draw(st.integers(0, 2)) == 0:
+        index = draw(st.integers(0, 9999))
+        return _leaf(
+            f"leaf{index}",
+            luts=float(draw(st.integers(1, 50))),
+            in_bits=draw(st.integers(1, 64)),
+            out_bits=draw(st.integers(1, 64)),
+        )
+    factory = draw(st.sampled_from([data_block, pipeline_block]))
+    children = [
+        draw(pattern_trees(depth=depth - 1))
+        for _ in range(draw(st.integers(2, 4)))
+    ]
+    return factory("node", children)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern_trees(), st.integers(min_value=0, max_value=3))
+def test_every_frontier_partitions_the_leaves(tree, iterations):
+    """Every frontier covers each source leaf exactly once."""
+    result = Partitioner().partition(tree, iterations=iterations)
+    base = sorted(leaf.name for leaf in tree.leaves())
+    for frontier in result.frontiers():
+        covered = sorted(
+            leaf.name
+            for node in frontier
+            for leaf in node.cluster.leaves()
+        )
+        assert covered == base
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern_trees(), st.integers(min_value=0, max_value=3))
+def test_frontier_resources_conserved(tree, iterations):
+    result = Partitioner().partition(tree, iterations=iterations)
+    total = tree.resources().luts
+    for frontier in result.frontiers():
+        frontier_total = sum(node.resources().luts for node in frontier)
+        assert frontier_total == pytest.approx(total)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern_trees())
+def test_max_ways_bounded_by_2_pow_iterations(tree):
+    for iterations in range(3):
+        result = Partitioner().partition(tree, iterations=iterations)
+        assert result.max_ways() <= 2 ** iterations

@@ -1,0 +1,86 @@
+"""Tests for the ASCII chart helpers the figure drivers use."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.charts import grouped_bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_axes_and_legend(self):
+        text = line_chart(
+            [0.0, 1.0, 2.0],
+            {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            x_label="time",
+            y_label="value",
+        )
+        assert "value" in text
+        assert "time" in text
+        assert "o = a" in text and "x = b" in text
+
+    def test_peak_labelled(self):
+        text = line_chart([0, 1], {"s": [1.0, 5.0]})
+        assert "5" in text.splitlines()[0]
+
+    def test_monotone_series_slopes_down_the_grid(self):
+        text = line_chart([0, 1, 2, 3], {"s": [1.0, 2.0, 3.0, 4.0]}, height=8)
+        rows_with_points = [
+            i for i, line in enumerate(text.splitlines()) if "o" in line
+        ]
+        # Larger values render on earlier (higher) rows.
+        assert rows_with_points == sorted(rows_with_points)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            line_chart([], {})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"s": [1.0]})
+
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(ReproError):
+            line_chart([0, 1], {"s": [0.0, 0.0]})
+
+    def test_constant_x_span_handled(self):
+        text = line_chart([1.0, 1.0], {"s": [1.0, 2.0]})
+        assert "|" in text
+
+
+class TestGroupedBarChart:
+    def test_bars_scale(self):
+        text = grouped_bar_chart(
+            ["one", "two"],
+            {"sys": [10.0, 20.0]},
+            width=20,
+        )
+        lines = [line for line in text.splitlines() if "#" in line]
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_all_groups_rendered(self):
+        text = grouped_bar_chart(
+            ["w"], {"base": [1.0], "prop": [2.0]}
+        )
+        assert "base" in text and "prop" in text
+
+    def test_values_printed(self):
+        text = grouped_bar_chart(["w"], {"s": [123.0]})
+        assert "123" in text
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            grouped_bar_chart([], {})
+
+
+class TestIntegration:
+    def test_fig11_render_contains_chart(self):
+        from repro.experiments.fig11 import render, run_fig11
+        from repro.units import us
+
+        text = render(run_fig11(sweep=(0.0, us(0.6), us(1.2))))
+        assert "latency increase over +0 us" in text
+        assert "added inter-FPGA latency" in text

@@ -1,0 +1,55 @@
+"""Extra coverage for the figure drivers: device variants, custom model
+lists, and normalisation invariants."""
+
+import pytest
+
+from repro.experiments.fig11 import Fig11Curve, run_fig11
+from repro.units import us
+from repro.workloads.deepbench import ModelSpec
+
+
+class TestFig11Variants:
+    def test_custom_model_list(self):
+        curves = run_fig11(
+            sweep=(0.0, us(0.5)),
+            models=(ModelSpec("lstm", 512, 25),),
+        )
+        assert len(curves) == 1
+        assert curves[0].model.key == "lstm-h512-t25"
+
+    def test_ku115_device(self):
+        curves = run_fig11(
+            sweep=(0.0, us(0.5)),
+            models=(ModelSpec("gru", 1024, 100),),
+            device_type="XCKU115",
+        )
+        # The slower device has a wider overlap window per step.
+        v37 = run_fig11(
+            sweep=(0.0, us(0.5)),
+            models=(ModelSpec("gru", 1024, 100),),
+            device_type="XCVU37P",
+        )
+        assert curves[0].overlap_window_s > v37[0].overlap_window_s
+
+    def test_normalised_starts_at_one(self):
+        curves = run_fig11(sweep=(0.0, us(1.0)))
+        for curve in curves:
+            normalised = curve.normalised()
+            assert normalised[0] == pytest.approx(1.0)
+            assert all(value >= 1.0 - 1e-12 for value in normalised)
+
+    def test_hideable_never_negative(self):
+        curve = Fig11Curve(model=ModelSpec("gru", 512, 1))
+        curve.overlap_window_s = 0.1e-6
+        curve.comm_at_zero_s = 5e-6
+        assert curve.hideable_added_latency_s == 0.0
+
+    def test_timesteps_scale_total_not_stall_rate(self):
+        short = run_fig11(
+            sweep=(us(2.0),), models=(ModelSpec("gru", 1024, 50),)
+        )[0]
+        long = run_fig11(
+            sweep=(us(2.0),), models=(ModelSpec("gru", 1024, 500),)
+        )[0]
+        # Per-step stall identical => total scales ~linearly in t.
+        assert long.latency_s[0] > 5 * short.latency_s[0]

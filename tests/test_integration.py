@@ -1,0 +1,124 @@
+"""End-to-end integration: the complete offline + runtime pipeline, from
+RTL generation to serving tasks, exercised through the public API only."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.accel import (
+    BW_V37,
+    CONTROL_MODULES,
+    CycleModel,
+    generate_accelerator,
+)
+from repro.accel.codegen import GRUCodegen, RNNWeights, build_scaleout_programs
+from repro.accel.functional import run_program, run_scaleout
+from repro.accel.codegen import OUT_BASE
+from repro.cluster import ClusterSimulator, paper_cluster
+from repro.core import decompose, partition, render_tree
+from repro.isa import decode_program, encode_program
+from repro.rtl import emit_design, parse_design, validate_design
+from repro.runtime import Catalog, build_system
+from repro.vital import VitalCompiler
+from repro.workloads import TABLE1_COMPOSITIONS, generate_workload
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_modules_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestOfflinePipeline:
+    """Generate -> emit/parse -> decompose -> partition -> compile."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        config = BW_V37.with_tiles(6, name="e2e-6t")
+        design = generate_accelerator(config)
+        validate_design(design)
+        # Round-trip through Verilog text, as an external tool would.
+        design = parse_design(emit_design(design), name=config.name)
+        design.top = "top"
+        decomposed = decompose(design, CONTROL_MODULES, name=config.name)
+        tree = partition(decomposed, iterations=2)
+        compiled = VitalCompiler().compile_accelerator(decomposed, tree)
+        return design, decomposed, tree, compiled
+
+    def test_decomposition_through_text_roundtrip(self, pipeline):
+        _, decomposed, _, _ = pipeline
+        assert decomposed.supports_scale_down()
+        assert len(decomposed.data_root.children) == 6
+
+    def test_partition_frontiers(self, pipeline):
+        _, _, tree, _ = pipeline
+        assert tree.max_ways() == 4
+
+    def test_every_frontier_compiled(self, pipeline):
+        _, _, tree, compiled = pipeline
+        assert len(compiled.mapping.options) == len(tree.frontiers())
+
+    def test_render_tree_works(self, pipeline):
+        _, decomposed, _, _ = pipeline
+        text = render_tree(decomposed.data_root, max_depth=2)
+        assert "data-parallel x6" in text
+
+
+class TestNumericalPipeline:
+    """Codegen -> binary -> decode -> execute == reference, then scale-out."""
+
+    def test_program_survives_binary_and_executes(self, gru_small):
+        weights, xs = gru_small
+        gen = GRUCodegen(weights, xs.shape[0])
+        program = gen.build()
+        decoded = decode_program(encode_program(program), name=program.name)
+        # Tags are tool metadata and do not survive encoding; execution
+        # semantics must.
+        sim = run_program(decoded, preload=lambda s: gen.preload(s, xs))
+        direct = run_program(program, preload=lambda s: gen.preload(s, xs))
+        assert np.array_equal(
+            sim.dram.read(OUT_BASE, weights.hidden),
+            direct.dram.read(OUT_BASE, weights.hidden),
+        )
+
+    def test_timing_model_accepts_generated_programs(self, gru_small):
+        weights, xs = gru_small
+        program = GRUCodegen(weights, xs.shape[0]).build()
+        report = CycleModel(BW_V37).latency(program)
+        assert report.seconds > 0
+
+
+class TestServingPipeline:
+    """Catalog -> controller -> cluster simulation, shared bitstream store."""
+
+    def test_full_system_run(self):
+        catalog = Catalog(VitalCompiler())
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog)
+        tasks = generate_workload(
+            TABLE1_COMPOSITIONS[6], 60, arrival_rate_per_s=1e4, seed=9
+        )
+        result = ClusterSimulator(system, "proposed").run(tasks)
+        assert len(result.completed) == 60
+        assert result.throughput > 0
+        # The low-level controller logged real configure events.
+        assert any(
+            event.action == "configure"
+            for event in system.controller.low_level.log
+        )
+
+    def test_cluster_clean_after_eviction_cycle(self):
+        catalog = Catalog(VitalCompiler())
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog)
+        tasks = generate_workload(
+            TABLE1_COMPOSITIONS[4], 40, arrival_rate_per_s=1e4, seed=3
+        )
+        ClusterSimulator(system, "proposed").run(tasks)
+        # Every block owner corresponds to a live deployment.
+        live = set(system.controller.deployments)
+        for board in cluster.boards.values():
+            assert board.owners() <= live

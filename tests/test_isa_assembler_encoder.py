@@ -1,0 +1,173 @@
+"""Assembler and binary-encoder tests, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AssemblerError, EncodingError
+from repro.isa.assembler import assemble, disassemble
+from repro.isa.encoder import (
+    INSTRUCTION_BYTES,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instructions import SYNC_ADDRESS, Instruction, Op
+from repro.isa.program import Program
+
+SOURCE = """
+; GRU-ish snippet
+m_rd  m0, 0x100000, 64
+v_rd  v1, 0x80, 64
+loop 10
+  mv_mul v2, m0, v1, 64
+  vv_add v2, v2, v1, 64
+  v_sigm v2, v2, 64
+endloop
+v_wr v2, 0x40, 64
+halt
+"""
+
+
+class TestAssembler:
+    def test_assembles_ops_in_order(self):
+        program = assemble(SOURCE)
+        ops = [inst.op for inst in program]
+        assert ops == [
+            Op.M_RD, Op.V_RD, Op.LOOP, Op.MV_MUL, Op.VV_ADD, Op.V_SIGM,
+            Op.ENDLOOP, Op.V_WR, Op.HALT,
+        ]
+
+    def test_hex_and_decimal_addresses(self):
+        program = assemble("v_rd v0, 0x10, 4\nv_rd v1, 16, 4\n")
+        assert program[0].addr == program[1].addr == 16
+
+    def test_sync_symbol(self):
+        program = assemble("v_wr v0, SYNC, 8\nv_rd v1, SYNC+0x1000, 8\n")
+        assert program[0].addr == SYNC_ADDRESS
+        assert program[1].addr == SYNC_ADDRESS + 0x1000
+        assert program[0].is_send and program[1].is_recv
+
+    def test_v_fill_float(self):
+        program = assemble("v_fill v3, -1.5, 16\n")
+        assert program[0].imm == pytest.approx(-1.5)
+
+    def test_v_slice(self):
+        program = assemble("v_slice v1, v0, 8, 4\n")
+        assert program[0].imm == 8.0 and program[0].length == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("; only comments\n\nnop ; trailing\n")
+        assert len(program) == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate v0\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("vv_add v0, v1\n")
+
+    def test_wrong_register_class(self):
+        with pytest.raises(AssemblerError, match="m-register"):
+            assemble("mv_mul v0, v1, v2, 8\n")
+
+    def test_error_reports_line(self):
+        try:
+            assemble("nop\nbroken_op\n")
+        except AssemblerError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblerError")
+
+    def test_disassemble_roundtrip(self):
+        program = assemble(SOURCE)
+        again = assemble(disassemble(program))
+        assert [i.render() for i in again] == [i.render() for i in program]
+
+
+class TestEncoder:
+    def test_instruction_width(self):
+        blob = encode_instruction(Instruction(Op.NOP))
+        assert len(blob) == INSTRUCTION_BYTES
+
+    def test_program_roundtrip(self):
+        program = assemble(SOURCE)
+        again = decode_program(encode_program(program))
+        assert len(again) == len(program)
+        for original, decoded in zip(program, again):
+            assert decoded.op is original.op
+            assert decoded.dst == original.dst
+            assert decoded.a == original.a
+            assert decoded.length == original.length
+
+    def test_loop_count_survives(self):
+        program = Program()
+        program.append(Instruction(Op.LOOP, imm=1500.0))
+        decoded = decode_program(encode_program(program))
+        assert int(decoded[0].imm) == 1500
+
+    def test_sync_address_survives(self):
+        inst = Instruction(Op.V_WR, a=1, addr=SYNC_ADDRESS, length=8)
+        assert decode_instruction(encode_instruction(inst)).is_send
+
+    def test_length_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Op.V_RD, dst=0, addr=0, length=70000))
+
+    def test_bad_blob_length_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(b"\x00" * 7)
+
+    def test_unknown_opcode_rejected(self):
+        blob = bytearray(encode_instruction(Instruction(Op.NOP)))
+        blob[0] = 0xEE
+        with pytest.raises(EncodingError):
+            decode_instruction(bytes(blob))
+
+    def test_misaligned_program_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00" * (INSTRUCTION_BYTES + 1))
+
+    def test_code_density(self):
+        """The compact-code claim: a whole GRU step loop fits in well under
+        one KiB (the instruction buffer holds entire benchmark programs)."""
+        program = assemble(SOURCE)
+        assert len(encode_program(program)) <= 1024
+
+
+_REGISTER = st.integers(min_value=0, max_value=63)
+_LENGTH = st.integers(min_value=0, max_value=4096)
+
+
+@st.composite
+def encodable_instructions(draw):
+    op = draw(st.sampled_from([
+        Op.V_RD, Op.V_WR, Op.M_RD, Op.MV_MUL, Op.VV_ADD, Op.VV_SUB,
+        Op.VV_MUL, Op.V_SIGM, Op.V_TANH, Op.V_RELU, Op.V_COPY, Op.V_FILL,
+        Op.NOP, Op.HALT,
+    ]))
+    return Instruction(
+        op,
+        dst=draw(_REGISTER),
+        a=draw(_REGISTER),
+        b=draw(_REGISTER),
+        ma=draw(_REGISTER),
+        addr=draw(st.integers(min_value=0, max_value=0xFFFF0FFF)),
+        imm=float(draw(st.integers(-1000, 1000))),
+        length=draw(_LENGTH),
+    )
+
+
+@given(encodable_instructions())
+def test_encode_decode_preserves_fields(inst):
+    decoded = decode_instruction(encode_instruction(inst))
+    assert decoded.op is inst.op
+    assert decoded.dst == inst.dst
+    assert decoded.a == inst.a
+    assert decoded.b == inst.b
+    assert decoded.ma == inst.ma
+    assert decoded.length == inst.length
+    if inst.op in (Op.V_RD, Op.V_WR, Op.M_RD):
+        assert decoded.addr == inst.addr
+    assert decoded.imm == pytest.approx(inst.imm)

@@ -1,0 +1,144 @@
+"""Block-floating-point tests: exactness, error bounds, and the matvec
+behaviour the functional simulator builds on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ISAError
+from repro.isa.bfp import (
+    BFPFormat,
+    bfp_matvec,
+    bfp_quantize,
+    quantisation_error_bound,
+    to_float16,
+)
+
+
+class TestFormat:
+    def test_default_sane(self):
+        fmt = BFPFormat()
+        assert fmt.max_mantissa == 31
+        assert fmt.block_size == 16
+
+    def test_rejects_tiny_mantissa(self):
+        with pytest.raises(ISAError):
+            BFPFormat(mantissa_bits=1)
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ISAError):
+            BFPFormat(block_size=0)
+
+    def test_quantisation_step(self):
+        assert BFPFormat(mantissa_bits=6).quantisation_step == pytest.approx(1 / 31)
+
+
+class TestQuantize:
+    def test_zero_preserved(self):
+        assert np.all(bfp_quantize(np.zeros(16)) == 0.0)
+
+    def test_empty_array(self):
+        assert bfp_quantize(np.array([])).size == 0
+
+    def test_block_max_exactly_representable(self):
+        values = np.zeros(16)
+        values[3] = 5.0
+        quantised = bfp_quantize(values)
+        assert quantised[3] == pytest.approx(5.0)
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=64)
+        once = bfp_quantize(values)
+        assert np.array_equal(bfp_quantize(once), once)
+
+    def test_unaligned_length_padded_transparently(self):
+        values = np.arange(1.0, 20.0)  # 19 values, not a block multiple
+        quantised = bfp_quantize(values)
+        assert quantised.shape == values.shape
+
+    def test_matrix_blocks_along_rows(self):
+        matrix = np.zeros((2, 16))
+        matrix[0, :] = 100.0
+        matrix[1, :] = 0.001
+        quantised = bfp_quantize(matrix)
+        # Each row has its own exponent, so the small row is not crushed.
+        assert np.all(quantised[1, :] > 0)
+
+    def test_shared_exponent_crushes_small_values_in_block(self):
+        values = np.zeros(16)
+        values[0] = 1000.0
+        values[1] = 0.01  # far below one mantissa step of the block max
+        quantised = bfp_quantize(values)
+        assert quantised[1] == 0.0
+
+
+class TestMatvec:
+    def test_identity_matvec_returns_quantised_vector(self):
+        matrix = bfp_quantize(np.eye(16))
+        vector = bfp_quantize(np.arange(16.0))
+        result = bfp_matvec(matrix, vector, quantize_vector=False)
+        assert np.allclose(result, vector)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ISAError):
+            bfp_matvec(np.zeros((4, 8)), np.zeros(4))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ISAError):
+            bfp_matvec(np.zeros(8), np.zeros(8))
+
+    def test_error_small_relative(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(64, 64)) / 8.0
+        vector = rng.normal(size=64)
+        exact = matrix @ vector
+        approx = bfp_matvec(bfp_quantize(matrix), vector)
+        scale = np.max(np.abs(exact)) + 1e-9
+        assert np.max(np.abs(approx - exact)) / scale < 0.15
+
+
+class TestHelpers:
+    def test_error_bound_formula(self):
+        fmt = BFPFormat(mantissa_bits=6)
+        assert quantisation_error_bound(fmt, 31.0) == pytest.approx(0.5)
+
+    def test_to_float16_rounds(self):
+        value = np.array([1.0 + 2**-13])
+        assert to_float16(value)[0] == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.integers(min_value=1, max_value=80),
+        elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+    )
+)
+def test_quantisation_error_within_bound(values):
+    """Every quantised value is within half a step of its block maximum."""
+    fmt = BFPFormat()
+    quantised = bfp_quantize(values, fmt)
+    padded = np.pad(values, (0, (-len(values)) % fmt.block_size))
+    blocks = padded.reshape(-1, fmt.block_size)
+    quant_padded = np.pad(quantised, (0, (-len(values)) % fmt.block_size))
+    quant_blocks = quant_padded.reshape(-1, fmt.block_size)
+    for block, quant in zip(blocks, quant_blocks):
+        bound = quantisation_error_bound(fmt, np.max(np.abs(block))) + 1e-12
+        assert np.max(np.abs(block - quant)) <= bound
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float64,
+        st.integers(min_value=1, max_value=64),
+        elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+)
+def test_quantisation_idempotent_property(values):
+    fmt = BFPFormat()
+    once = bfp_quantize(values, fmt)
+    assert np.array_equal(bfp_quantize(once, fmt), once)

@@ -1,0 +1,187 @@
+"""Tests for the two scale-out tools: communication insertion and
+dependency-safe reordering (paper Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.codegen import GRUCodegen, RNNWeights, build_scaleout_programs
+from repro.errors import ISAError
+from repro.isa.comm_insertion import ScaleOutPlan, insert_scaleout_communication
+from repro.isa.dependencies import build_dependence_graph
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+from repro.isa.reorder import overlap_window, reorder_for_overlap
+
+
+@pytest.fixture
+def replica_programs():
+    weights = RNNWeights(
+        kind="gru", hidden=64, input_dim=64, w=[None] * 3, u=[None] * 3,
+        b=[None] * 3,
+    )
+    return build_scaleout_programs("gru", weights, timesteps=3, replicas=2)
+
+
+class TestScaleOutPlan:
+    def test_slice_length(self):
+        plan = ScaleOutPlan(2, 0, "h", 64, 12, 1)
+        assert plan.slice_length == 32
+
+    def test_rejects_single_replica(self):
+        with pytest.raises(ISAError):
+            ScaleOutPlan(1, 0, "h", 64, 12, 1)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ISAError):
+            ScaleOutPlan(2, 5, "h", 64, 12, 1)
+
+    def test_rejects_indivisible_length(self):
+        with pytest.raises(ISAError):
+            ScaleOutPlan(3, 0, "h", 64, 12, 1)
+
+    def test_distinct_values_get_distinct_windows(self):
+        a = ScaleOutPlan(2, 0, "h", 64, 12, 1)
+        b = ScaleOutPlan(2, 0, "c", 64, 14, 2)
+        assert a.send_address != b.send_address
+
+
+class TestInsertion:
+    def test_requires_tags(self):
+        program = Program(name="untagged")
+        plan = ScaleOutPlan(2, 0, "h", 64, 12, 1)
+        with pytest.raises(ISAError, match="produce:h"):
+            insert_scaleout_communication(program, plan)
+
+    def test_send_after_every_producer(self, replica_programs):
+        program = replica_programs[0]
+        instructions = program.instructions
+        for index, inst in enumerate(instructions):
+            if inst.tag == "produce:h":
+                assert instructions[index + 1].is_send
+
+    def test_recv_at_loop_body_top(self, replica_programs):
+        instructions = replica_programs[0].instructions
+        loop_at = next(
+            i for i, inst in enumerate(instructions) if inst.op is Op.LOOP
+        )
+        body = instructions[loop_at + 1 :]
+        first_recv = next(i for i, inst in enumerate(body) if inst.is_recv)
+        first_consume = next(
+            i for i, inst in enumerate(body) if inst.tag == "consume:h"
+        )
+        assert first_recv < first_consume
+
+    def test_send_recv_lengths(self, replica_programs):
+        program = replica_programs[0]
+        sends = [i for i in program.instructions if i.is_send]
+        recvs = [i for i in program.instructions if i.is_recv]
+        assert all(send.length == 32 for send in sends)
+        assert all(recv.length == 64 for recv in recvs)
+
+    def test_metadata_recorded(self, replica_programs):
+        meta = replica_programs[1].metadata["scaleout"]
+        assert meta["replicas"] == 2
+        assert meta["replica_index"] == 1
+        assert meta["slice_length"] == 32
+
+    def test_programs_validate(self, replica_programs):
+        for program in replica_programs:
+            program.validate(allow_sync=True)
+
+
+class TestReorder:
+    def test_respects_dependences(self, replica_programs):
+        """Reordered regions are valid topological orders of the original
+        dependence graph (checked by reconstruction)."""
+        program = replica_programs[0]
+        reordered = reorder_for_overlap(program)
+        # Same multiset of instructions overall.
+        assert sorted(i.render() for i in reordered) == sorted(
+            i.render() for i in program
+        )
+
+    def test_recv_sinks_below_x_compute(self, replica_programs):
+        reordered = reorder_for_overlap(replica_programs[0])
+        body = _loop_body(reordered)
+        recv_at = next(i for i, inst in enumerate(body) if inst.is_recv)
+        x_ops = [i for i, inst in enumerate(body) if inst.tag == "compute:x"]
+        assert x_ops and all(index < recv_at for index in x_ops)
+
+    def test_consume_stays_after_recv(self, replica_programs):
+        reordered = reorder_for_overlap(replica_programs[0])
+        body = _loop_body(reordered)
+        recv_at = next(i for i, inst in enumerate(body) if inst.is_recv)
+        consumes = [
+            i for i, inst in enumerate(body) if inst.tag == "consume:h"
+        ]
+        assert consumes and all(index > recv_at for index in consumes)
+
+    def test_overlap_window_nonempty_after_reorder(self, replica_programs):
+        body = _loop_body(reorder_for_overlap(replica_programs[0]))
+        window = overlap_window(body)
+        assert len(window) >= 3  # x load + 3 W*x matmuls at least
+
+    def test_overlap_window_empty_without_reorder(self):
+        weights = RNNWeights(
+            kind="gru", hidden=64, input_dim=64, w=[None] * 3, u=[None] * 3,
+            b=[None] * 3,
+        )
+        programs = build_scaleout_programs(
+            "gru", weights, timesteps=3, replicas=2, reorder=False
+        )
+        body = _loop_body(programs[0])
+        assert overlap_window(body) == []
+
+    def test_reorder_idempotent_semantics(self, replica_programs):
+        once = reorder_for_overlap(replica_programs[0])
+        twice = reorder_for_overlap(once)
+        assert [i.render() for i in _loop_body(once)] == [
+            i.render() for i in _loop_body(twice)
+        ]
+
+
+class TestReorderedExecutionCorrect:
+    def test_scaleout_reordered_matches_plain(self, gru_small):
+        """Reordering must not change results: co-simulate both versions."""
+        from repro.accel.codegen import OUT_BASE
+        from repro.accel.functional import run_scaleout
+
+        weights, xs = gru_small
+        h = weights.hidden
+
+        outputs = []
+        for reorder in (False, True):
+            programs = build_scaleout_programs(
+                "gru", weights, timesteps=xs.shape[0], replicas=2,
+                reorder=reorder,
+            )
+            gens = [
+                GRUCodegen(weights, xs.shape[0], replicas=2, replica_index=i)
+                for i in range(2)
+            ]
+            sims, _ = run_scaleout(
+                programs, preload=lambda sim, i: gens[i].preload(sim, xs)
+            )
+            combined = np.concatenate(
+                [
+                    sim.dram.read(OUT_BASE + i * (h // 2), h // 2)
+                    for i, sim in enumerate(sims)
+                ]
+            )
+            outputs.append(combined)
+        assert np.array_equal(outputs[0], outputs[1])
+
+
+def _loop_body(program: Program) -> list:
+    body = []
+    depth = 0
+    for inst in program.instructions:
+        if inst.op is Op.LOOP:
+            depth += 1
+            continue
+        if inst.op is Op.ENDLOOP:
+            depth -= 1
+            continue
+        if depth > 0:
+            body.append(inst)
+    return body

@@ -1,0 +1,100 @@
+"""Tests for the Section 4.4 isolation model: instruction-buffer fit,
+DRAM contention, and the experiment driver."""
+
+import pytest
+
+from repro.accel import BW_V37, CycleModel
+from repro.accel.timing import TimingParameters
+from repro.experiments import run_isolation
+from repro.experiments.isolation import render
+from repro.workloads.deepbench import TABLE4_BENCHMARKS, ModelSpec
+
+
+class TestBufferFit:
+    def test_benchmark_programs_fit(self):
+        """Section 4.4's premise: whole machine codes fit on chip."""
+        model = CycleModel(BW_V37)
+        for spec in TABLE4_BENCHMARKS:
+            assert model.program_fits_buffer(spec.program())
+
+    def test_tiny_buffer_rejects(self):
+        from dataclasses import replace
+
+        config = replace(BW_V37, instruction_buffer_bytes=64)
+        model = CycleModel(config)
+        program = ModelSpec("gru", 512, 10).program()
+        assert not model.program_fits_buffer(program)
+
+
+class TestContentionModel:
+    def setup_method(self):
+        self.model = CycleModel(BW_V37)
+        self.program = ModelSpec("lstm", 512, 25).program()
+
+    def test_no_neighbours_no_change(self):
+        base = self.model.latency(self.program)
+        same = self.model.latency(self.program, sharing_neighbours=0)
+        assert base.seconds == same.seconds
+
+    def test_contention_monotone_in_neighbours(self):
+        values = [
+            self.model.latency(self.program, sharing_neighbours=n).seconds
+            for n in (0, 1, 2, 4)
+        ]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_buffered_sharing_penalty_small(self):
+        alone = self.model.latency(self.program).seconds
+        shared = self.model.latency(
+            self.program, sharing_neighbours=2
+        ).seconds
+        assert shared / alone - 1.0 < 0.03
+
+    def test_spilled_code_costly(self):
+        buffered = self.model.latency(
+            self.program, sharing_neighbours=2
+        ).seconds
+        spilled = self.model.latency(
+            self.program, sharing_neighbours=2, instruction_buffer=False
+        ).seconds
+        assert spilled > 1.10 * buffered
+
+    def test_spill_costs_even_alone(self):
+        alone = self.model.latency(self.program).seconds
+        spilled_alone = self.model.latency(
+            self.program, instruction_buffer=False
+        ).seconds
+        assert spilled_alone > alone
+
+    def test_custom_penalty_parameter(self):
+        harsh = CycleModel(
+            BW_V37, TimingParameters(dram_share_penalty=5.0)
+        )
+        mild = self.model
+        harsh_lat = harsh.latency(self.program, sharing_neighbours=2).seconds
+        mild_lat = mild.latency(self.program, sharing_neighbours=2).seconds
+        assert harsh_lat > mild_lat
+
+
+class TestIsolationExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_isolation()
+
+    def test_one_row_per_fitting_benchmark(self, rows):
+        assert len(rows) == 7  # all Table 4 benchmarks fit the VU37P
+
+    def test_isolation_claim(self, rows):
+        for row in rows:
+            assert row.code_fits_buffer
+            assert row.sharing_penalty < 0.03
+
+    def test_buffer_ablation(self, rows):
+        for row in rows:
+            assert row.sharing_penalty_no_buffer > 0.10
+
+    def test_render(self, rows):
+        text = render(rows)
+        assert "performance isolation" in text
+        assert "Penalty w/o buffer" in text

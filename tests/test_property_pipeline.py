@@ -1,0 +1,143 @@
+"""Hypothesis properties over the whole offline pipeline: random
+accelerator-shaped designs go through generate -> decompose (both flows) ->
+partition -> compile, and the structural invariants hold at every stage."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PatternKind, decompose, decompose_top_down, partition
+from repro.resources import ResourceVector
+from repro.rtl import design_resources, validate_design
+from repro.rtl.builder import DesignBuilder
+from repro.vital import VitalCompiler
+
+
+def build_lane_design(lanes: int, stages: int, widths) -> "Design":
+    """A control block plus ``lanes`` identical ``stages``-deep pipelines.
+
+    ``widths[i]`` is the bit width between stage i and i+1 (len = stages-1).
+    """
+    db = DesignBuilder(f"gen-{lanes}x{stages}")
+
+    m = db.module("ctl")
+    m.inputs("clk", ("cfg", 32)).outputs(("ctl_out", 8))
+    m.instance("r", "DFF", clk="clk")
+    m.build()
+
+    boundary = [64] + list(widths) + [16]
+    for stage in range(stages):
+        m = db.module(f"stage{stage}")
+        m.inputs("clk", ("din", boundary[stage]))
+        m.outputs(("dout", boundary[stage + 1]))
+        m.net("t", 16)
+        m.instance("mul", "FP16_MUL", clk="clk", y="t")
+        m.instance("add", "FP16_ADD", clk="clk", a="t")
+        m.build()
+
+    m = db.module("lane")
+    m.inputs("clk", ("din", 64)).outputs(("dout", 16))
+    previous = "din"
+    for stage in range(stages):
+        out_net = "dout" if stage == stages - 1 else f"w{stage}"
+        if out_net != "dout":
+            m.net(out_net, boundary[stage + 1])
+        m.instance(
+            f"s{stage}", f"stage{stage}",
+            clk="clk", din=previous, dout=out_net,
+        )
+        previous = out_net
+    m.build()
+
+    m = db.module("top")
+    m.inputs("clk", ("cfg", 32), ("vec", 64))
+    m.outputs(("res", 16))
+    m.net("ctl_net", 8)
+    m.instance("c", "ctl", clk="clk", cfg="cfg", ctl_out="ctl_net")
+    for lane in range(lanes):
+        m.net(f"r{lane}", 16)
+        m.instance(f"lane{lane}", "lane", clk="clk", din="vec", dout=f"r{lane}")
+    m.build()
+    db.top("top")
+    return db.build()
+
+
+design_params = st.tuples(
+    st.integers(min_value=2, max_value=6),  # lanes
+    st.integers(min_value=2, max_value=5),  # stages
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(design_params, st.data())
+def test_decompose_extracts_declared_structure(params, data):
+    lanes, stages = params
+    widths = [
+        data.draw(st.sampled_from([8, 24, 48, 96]))
+        for _ in range(stages - 1)
+    ]
+    design = build_lane_design(lanes, stages, widths)
+    validate_design(design)
+    result = decompose(design, control_modules={"ctl"})
+
+    # Root is DATA over exactly `lanes` lanes, each a `stages` pipeline.
+    assert result.data_root.kind is PatternKind.DATA
+    assert len(result.data_root.children) == lanes
+    for lane in result.data_root.children:
+        assert lane.kind is PatternKind.PIPELINE
+        assert len(lane.children) == stages
+        # Inter-stage bandwidths match the declared widths.
+        recorded = [child.out_bits for child in lane.children[:-1]]
+        assert recorded == widths
+
+    # Resource conservation.
+    assert list(result.total_resources()) == pytest.approx(
+        list(design_resources(design))
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(design_params)
+def test_both_flows_agree(params):
+    lanes, stages = params
+    design = build_lane_design(lanes, stages, [32] * (stages - 1))
+    bottom_up = decompose(design, control_modules={"ctl"})
+    top_down = decompose_top_down(design, control_modules={"ctl"})
+    assert bottom_up.data_root.kind is top_down.data_root.kind
+    assert len(bottom_up.data_root.children) == len(top_down.data_root.children)
+    assert sorted(
+        leaf.module_name for leaf in bottom_up.data_root.leaves()
+    ) == sorted(leaf.module_name for leaf in top_down.data_root.leaves())
+
+
+@settings(max_examples=15, deadline=None)
+@given(design_params, st.integers(min_value=0, max_value=3))
+def test_partition_frontiers_always_cover(params, iterations):
+    lanes, stages = params
+    design = build_lane_design(lanes, stages, [32] * (stages - 1))
+    result = decompose(design, control_modules={"ctl"})
+    tree = partition(result, iterations=iterations)
+    total = result.data_root.resources()
+    for frontier in tree.frontiers():
+        covered = ResourceVector.zero()
+        for node in frontier:
+            covered = covered + node.cluster.resources()
+        assert list(covered) == pytest.approx(list(total))
+
+
+@settings(max_examples=8, deadline=None)
+@given(design_params)
+def test_compile_every_frontier_deployable_somewhere(params):
+    lanes, stages = params
+    design = build_lane_design(lanes, stages, [32] * (stages - 1))
+    result = decompose(design, control_modules={"ctl"})
+    tree = partition(result, iterations=2)
+    compiled = VitalCompiler().compile_accelerator(result, tree)
+    assert compiled.mapping.options
+    for option in compiled.mapping.options:
+        assert option.is_deployable()
+        blocks = [
+            image.virtual_blocks
+            for cluster in option.cluster_indices
+            for image in option.images[cluster].values()
+        ]
+        assert all(count >= 1 for count in blocks)

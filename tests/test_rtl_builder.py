@@ -1,0 +1,79 @@
+"""Tests for the fluent design builders."""
+
+import pytest
+
+from repro.errors import RTLValidationError
+from repro.rtl.builder import DesignBuilder, ModuleBuilder
+from repro.rtl.ir import Direction
+
+
+class TestModuleBuilder:
+    def test_inputs_accept_names_and_tuples(self):
+        module = ModuleBuilder("m").inputs("clk", ("data", 16)).build()
+        assert module.ports["clk"].width == 1
+        assert module.ports["data"].width == 16
+        assert module.ports["data"].direction is Direction.INPUT
+
+    def test_outputs(self):
+        module = ModuleBuilder("m").outputs(("y", 8)).build()
+        assert module.ports["y"].direction is Direction.OUTPUT
+
+    def test_instance_rejects_undeclared_net(self):
+        builder = ModuleBuilder("m")
+        builder.inputs("clk")
+        with pytest.raises(RTLValidationError):
+            builder.instance("u0", "DFF", d="missing_net")
+
+    def test_instance_connects_declared_nets(self):
+        builder = ModuleBuilder("m")
+        builder.inputs("clk", "d").outputs("q")
+        inst = builder.instance("u0", "DFF", clk="clk", d="d", q="q")
+        assert inst.connections == {"clk": "clk", "d": "d", "q": "q"}
+
+    def test_assign_rejects_undeclared(self):
+        builder = ModuleBuilder("m").inputs("a")
+        with pytest.raises(RTLValidationError):
+            builder.assign("a", "ghost")
+
+    def test_assign_ok(self):
+        builder = ModuleBuilder("m")
+        builder.inputs("a").outputs("y")
+        module = builder.assign("y", "a").build()
+        assert module.assigns[0].target == "y"
+
+    def test_attribute(self):
+        module = ModuleBuilder("m").attribute("role", "control").build()
+        assert module.attributes["role"] == "control"
+
+    def test_builder_closed_after_build(self):
+        builder = ModuleBuilder("m")
+        builder.build()
+        with pytest.raises(RTLValidationError):
+            builder.inputs("late")
+
+    def test_nets_mixed_specs(self):
+        builder = ModuleBuilder("m").nets("a", ("wide", 32))
+        module = builder.build()
+        assert module.nets["a"].width == 1
+        assert module.nets["wide"].width == 32
+
+
+class TestDesignBuilder:
+    def test_module_auto_registers(self):
+        db = DesignBuilder("d")
+        db.module("child").build()
+        design = db.top("child").build()
+        assert design.has_module("child")
+        assert design.top == "child"
+
+    def test_add_prebuilt(self):
+        db = DesignBuilder("d")
+        module = ModuleBuilder("standalone").build()
+        design = db.add(module).top("standalone").build()
+        assert design.has_module("standalone")
+
+    def test_duplicate_module_rejected(self):
+        db = DesignBuilder("d")
+        db.module("m")
+        with pytest.raises(RTLValidationError):
+            db.module("m")

@@ -1,0 +1,127 @@
+"""Tests for the structural RTL IR core types."""
+
+import pytest
+
+from repro.errors import RTLValidationError, UnknownModuleError
+from repro.rtl.ir import Design, Direction, Module, Port, connect_chain
+
+
+class TestPort:
+    def test_positive_width_required(self):
+        with pytest.raises(RTLValidationError):
+            Port("a", Direction.INPUT, 0)
+
+    def test_direction_flip(self):
+        assert Direction.INPUT.flipped() is Direction.OUTPUT
+        assert Direction.OUTPUT.flipped() is Direction.INPUT
+        assert Direction.INOUT.flipped() is Direction.INOUT
+
+
+class TestModule:
+    def test_port_creates_implicit_net(self):
+        module = Module("m")
+        module.add_port("a", Direction.INPUT, 8)
+        assert module.net_width("a") == 8
+
+    def test_duplicate_port_rejected(self):
+        module = Module("m")
+        module.add_port("a", Direction.INPUT)
+        with pytest.raises(RTLValidationError):
+            module.add_port("a", Direction.OUTPUT)
+
+    def test_duplicate_net_rejected(self):
+        module = Module("m")
+        module.add_net("n")
+        with pytest.raises(RTLValidationError):
+            module.add_net("n")
+
+    def test_duplicate_instance_rejected(self):
+        module = Module("m")
+        module.add_instance("u0", "child")
+        with pytest.raises(RTLValidationError):
+            module.add_instance("u0", "child")
+
+    def test_unknown_net_width_raises(self):
+        module = Module("m")
+        with pytest.raises(RTLValidationError):
+            module.net_width("ghost")
+
+    def test_input_output_port_filters(self):
+        module = Module("m")
+        module.add_port("a", Direction.INPUT)
+        module.add_port("y", Direction.OUTPUT)
+        module.add_port("z", Direction.OUTPUT)
+        assert [p.name for p in module.input_ports()] == ["a"]
+        assert [p.name for p in module.output_ports()] == ["y", "z"]
+
+    def test_net_drivers_and_consumers(self):
+        design = Design("d")
+        child = Module("child")
+        child.add_port("i", Direction.INPUT, 1)
+        child.add_port("o", Direction.OUTPUT, 1)
+        design.add_module(child)
+        top = Module("top")
+        top.add_net("w")
+        top.add_instance("u0", "child", {"o": "w"})
+        top.add_instance("u1", "child", {"i": "w"})
+        design.add_module(top)
+        design.top = "top"
+        drivers = top.net_drivers("w", design)
+        consumers = top.net_consumers("w", design)
+        assert [inst.name for inst, _ in drivers] == ["u0"]
+        assert [inst.name for inst, _ in consumers] == ["u1"]
+
+
+class TestDesign:
+    def test_top_unset_raises(self):
+        with pytest.raises(RTLValidationError):
+            Design("d").top_module
+
+    def test_require_module_unknown(self):
+        with pytest.raises(UnknownModuleError):
+            Design("d").require_module("nope")
+
+    def test_duplicate_module_rejected(self):
+        design = Design("d")
+        design.add_module(Module("m"))
+        with pytest.raises(RTLValidationError):
+            design.add_module(Module("m"))
+
+    def test_ports_of_primitive(self):
+        design = Design("d")
+        ports = design.ports_of("DFF")
+        assert set(ports) == {"clk", "d", "q"}
+
+    def test_ports_of_unknown(self):
+        with pytest.raises(UnknownModuleError):
+            Design("d").ports_of("mystery")
+
+    def test_reachable_modules(self, mini_design):
+        reachable = mini_design.reachable_modules()
+        assert reachable[0] == "top"
+        assert "lane" in reachable and "stage_a" in reachable
+
+    def test_instance_counts(self, mini_design):
+        counts = mini_design.instance_counts()
+        assert counts["lane"] == 4
+        assert counts["stage_a"] == 1  # one per lane definition
+
+    def test_submodule_names_excludes_primitives(self, mini_design):
+        names = mini_design.submodule_names("lane")
+        assert names == {"stage_a", "stage_b", "stage_c"}
+
+
+class TestConnectChain:
+    def test_chains_instances_with_fresh_nets(self):
+        design = Design("d")
+        stage = Module("stage")
+        stage.add_port("i", Direction.INPUT, 1)
+        stage.add_port("o", Direction.OUTPUT, 1)
+        design.add_module(stage)
+        top = Module("top")
+        instances = [top.add_instance(f"s{i}", "stage") for i in range(3)]
+        connect_chain(top, instances, "o", "i")
+        assert instances[0].connections["o"] == "chain_0"
+        assert instances[1].connections["i"] == "chain_0"
+        assert instances[1].connections["o"] == "chain_1"
+        assert instances[2].connections["i"] == "chain_1"

@@ -1,0 +1,144 @@
+"""Parser/emitter tests, including the round-trip property on generated
+accelerator designs."""
+
+import pytest
+
+from repro.accel import BW_V37, generate_accelerator
+from repro.errors import RTLParseError
+from repro.rtl import emit_design, emit_module, parse_design
+from repro.rtl.ir import Direction
+
+
+SIMPLE = """
+// a comment
+module leaf (a, y);
+  input [7:0] a;
+  output [7:0] y;
+  assign y = a;
+endmodule
+
+module top (a, y);
+  input [7:0] a;
+  output [7:0] y;
+  wire [7:0] mid;
+  leaf u0 (.a(a), .y(mid));
+  leaf u1 (.a(mid), .y(y));
+endmodule
+"""
+
+
+class TestParser:
+    def test_parses_modules(self):
+        design = parse_design(SIMPLE)
+        assert set(design.modules) == {"leaf", "top"}
+
+    def test_last_module_is_top(self):
+        assert parse_design(SIMPLE).top == "top"
+
+    def test_port_widths(self):
+        design = parse_design(SIMPLE)
+        assert design.modules["leaf"].ports["a"].width == 8
+
+    def test_instances_and_connections(self):
+        design = parse_design(SIMPLE)
+        top = design.modules["top"]
+        assert top.instances["u0"].connections == {"a": "a", "y": "mid"}
+
+    def test_assign(self):
+        design = parse_design(SIMPLE)
+        leaf = design.modules["leaf"]
+        assert leaf.assigns[0].target == "y"
+
+    def test_ansi_header(self):
+        design = parse_design(
+            "module m (input [3:0] a, output y);\nendmodule\n"
+        )
+        module = design.modules["m"]
+        assert module.ports["a"].width == 4
+        assert module.ports["y"].direction is Direction.OUTPUT
+
+    def test_parameters(self):
+        design = parse_design(
+            'module m (y);\n output y;\n'
+            ' BRAM36 #(.DEPTH(512), .KIND("uram")) bank (.dout(y));\n'
+            "endmodule\n"
+        )
+        inst = design.modules["m"].instances["bank"]
+        assert inst.parameters == {"DEPTH": 512, "KIND": "uram"}
+
+    def test_attributes(self):
+        design = parse_design(
+            '(* role = "control" *)\nmodule m (a);\n input a;\nendmodule\n'
+        )
+        assert design.modules["m"].attributes["role"] == "control"
+
+    def test_block_comments_skipped(self):
+        design = parse_design("/* header\n spans lines */ module m ();\nendmodule")
+        assert "m" in design.modules
+
+    def test_multiple_decls_one_line(self):
+        design = parse_design("module m (a, b);\n input a, b;\nendmodule")
+        assert set(design.modules["m"].ports) == {"a", "b"}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(RTLParseError):
+            parse_design("always @(posedge clk) begin end")
+
+    def test_rejects_header_port_without_decl(self):
+        with pytest.raises(RTLParseError):
+            parse_design("module m (ghost);\nendmodule")
+
+    def test_rejects_unterminated_module(self):
+        with pytest.raises(RTLParseError):
+            parse_design("module m (a);\n input a;\n")
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(RTLParseError):
+            parse_design("// nothing here\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_design("module m (a);\n input a;\n %bad\nendmodule")
+        except RTLParseError as err:
+            assert "line 3" in str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected RTLParseError")
+
+
+class TestEmitter:
+    def test_emit_module_contains_ports(self, mini_design):
+        text = emit_module(mini_design.modules["lane"])
+        assert "module lane" in text
+        assert "input [63:0] vin;" in text
+
+    def test_emit_design_top_last(self, mini_design):
+        text = emit_design(mini_design)
+        assert text.rstrip().endswith("endmodule")
+        last_module = text.rstrip().rsplit("module ", 1)[1]
+        assert last_module.startswith("top")
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip_stable(self):
+        design = parse_design(SIMPLE)
+        once = emit_design(design)
+        twice = emit_design(parse_design(once))
+        assert once == twice
+
+    def test_mini_design_roundtrip(self, mini_design):
+        text = emit_design(mini_design)
+        parsed = parse_design(text, name=mini_design.name)
+        assert set(parsed.modules) == set(mini_design.modules)
+        assert parsed.top == mini_design.top
+        for name, module in mini_design.modules.items():
+            other = parsed.modules[name]
+            assert set(other.ports) == set(module.ports)
+            assert set(other.instances) == set(module.instances)
+
+    def test_generated_accelerator_roundtrip(self):
+        design = generate_accelerator(BW_V37.with_tiles(3, name="rt-3t"))
+        text = emit_design(design)
+        parsed = parse_design(text)
+        assert set(parsed.modules) == set(design.modules)
+        top = parsed.modules["top"]
+        assert len(top.instances) == len(design.modules["top"].instances)

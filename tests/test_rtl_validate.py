@@ -1,0 +1,118 @@
+"""Design-validation tests."""
+
+import pytest
+
+from repro.errors import RTLValidationError, UnknownModuleError
+from repro.rtl import validate_design
+from repro.rtl.ir import Design, Direction, Module
+
+
+def _design_with_top() -> tuple:
+    design = Design("d")
+    top = Module("top")
+    top.add_port("clk", Direction.INPUT)
+    design.add_module(top)
+    design.top = "top"
+    return design, top
+
+
+class TestHardErrors:
+    def test_clean_design_passes(self):
+        design = Design("clean")
+        top = Module("top")
+        top.add_port("clk", Direction.INPUT)
+        top.add_port("d", Direction.INPUT)
+        top.add_port("q", Direction.OUTPUT)
+        top.add_instance("u0", "DFF", {"clk": "clk", "d": "d", "q": "q"})
+        design.add_module(top)
+        design.top = "top"
+        assert validate_design(design) == []
+
+    def test_fixture_design_has_only_warnings(self, mini_design):
+        # The miniature accelerator has intentionally-abstract outputs
+        # (undriven warnings) but no hard errors.
+        warnings = validate_design(mini_design)
+        assert all(isinstance(w, str) for w in warnings)
+
+    def test_unknown_module_instance(self):
+        design, top = _design_with_top()
+        top.add_instance("u0", "mystery")
+        with pytest.raises(UnknownModuleError):
+            validate_design(design)
+
+    def test_connection_to_missing_port(self):
+        design, top = _design_with_top()
+        top.add_instance("u0", "DFF", {"nonexistent": "clk"})
+        with pytest.raises(RTLValidationError):
+            validate_design(design)
+
+    def test_connection_to_undeclared_net(self):
+        design, top = _design_with_top()
+        top.add_instance("u0", "DFF", {"clk": "ghost"})
+        with pytest.raises(RTLValidationError):
+            validate_design(design)
+
+    def test_width_mismatch(self):
+        design, top = _design_with_top()
+        top.add_net("wide", 8)
+        top.add_instance("u0", "DFF", {"d": "wide"})
+        with pytest.raises(RTLValidationError):
+            validate_design(design)
+
+    def test_assign_unknown_net(self):
+        from repro.rtl.ir import Assign
+
+        design, top = _design_with_top()
+        top.assigns.append(Assign("ghost", "clk"))
+        with pytest.raises(RTLValidationError):
+            validate_design(design)
+
+    def test_cyclic_hierarchy_rejected(self):
+        design = Design("d")
+        a = Module("a")
+        a.add_instance("u", "b")
+        b = Module("b")
+        b.add_instance("u", "a")
+        design.add_module(a)
+        design.add_module(b)
+        design.top = "a"
+        with pytest.raises(RTLValidationError, match="cyclic"):
+            validate_design(design)
+
+    def test_self_instantiation_rejected(self):
+        design = Design("d")
+        a = Module("a")
+        a.add_instance("u", "a")
+        design.add_module(a)
+        design.top = "a"
+        with pytest.raises(RTLValidationError, match="cyclic"):
+            validate_design(design)
+
+    def test_dangling_net_hard_when_disallowed(self):
+        design, top = _design_with_top()
+        top.add_net("floating")
+        with pytest.raises(RTLValidationError, match="dangling"):
+            validate_design(design, allow_dangling=False)
+
+
+class TestWarnings:
+    def test_dangling_net_warns(self):
+        design, top = _design_with_top()
+        top.add_net("floating")
+        warnings = validate_design(design)
+        assert any("dangling" in w for w in warnings)
+
+    def test_multiple_drivers_warn(self):
+        design, top = _design_with_top()
+        top.add_net("n")
+        top.add_instance("u0", "DFF", {"clk": "clk", "q": "n"})
+        top.add_instance("u1", "DFF", {"clk": "clk", "q": "n"})
+        warnings = validate_design(design)
+        assert any("2 drivers" in w for w in warnings)
+
+    def test_undriven_output_warns(self):
+        design, top = _design_with_top()
+        top.add_port("y", Direction.OUTPUT)
+        top.add_instance("u0", "DFF", {"clk": "clk"})
+        warnings = validate_design(design)
+        assert any("undriven" in w for w in warnings)

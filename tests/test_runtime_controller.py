@@ -1,0 +1,187 @@
+"""System-controller tests: the greedy policy, spatial sharing, eviction
+and the restricted variant."""
+
+import pytest
+
+from repro.cluster import paper_cluster
+from repro.errors import AllocationError
+from repro.runtime import Catalog
+from repro.runtime.controller import PlacementPolicy, SystemController
+from repro.runtime.deployment import DeploymentState
+from repro.vital import LowLevelController, VitalCompiler
+
+
+@pytest.fixture(scope="module")
+def shared_catalog():
+    return Catalog(VitalCompiler())
+
+
+def _controller(catalog, cluster=None, **kwargs):
+    cluster = cluster or paper_cluster()
+    controller = SystemController(
+        cluster,
+        catalog,
+        LowLevelController(catalog.compiler.store),
+        **kwargs,
+    )
+    return controller, cluster
+
+
+class TestDeploy:
+    def test_greedy_prefers_fewest_fpgas(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h512-t1")
+        assert len(deployment.placements) == 1
+
+    def test_two_fpga_model(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h2560-t375")
+        assert len(deployment.placements) == 2
+        assert {p.device_type for p in deployment.placements} == {"XCVU37P"}
+
+    def test_reconfig_cost_charged(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, reconfig = controller.deploy("gru-h512-t1")
+        blocks = sum(p.virtual_blocks for p in deployment.placements)
+        assert reconfig > blocks * controller.reconfig_s_per_block * 0.99
+
+    def test_blocks_actually_reserved(self, shared_catalog):
+        controller, cluster = _controller(shared_catalog)
+        free_before = sum(cluster.total_free_blocks().values())
+        deployment, _ = controller.deploy("lstm-h256-t150")
+        free_after = sum(cluster.total_free_blocks().values())
+        used = sum(p.virtual_blocks for p in deployment.placements)
+        assert free_before - free_after == used
+
+    def test_spatial_sharing_multiple_models_one_board(self, shared_catalog):
+        """The headline HS-abstraction property: small accelerators of
+        different applications share one FPGA."""
+        controller, cluster = _controller(shared_catalog)
+        for key in ("gru-h512-t1", "lstm-h256-t150", "lstm-h512-t25"):
+            controller.deploy(key)
+        owners_per_board = [len(b.owners()) for b in cluster.boards.values()]
+        assert max(owners_per_board) >= 2
+
+    def test_service_time_positive_and_cached(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h1536-t375")
+        assert deployment.service_s > 0
+
+    def test_find_idle_deployment(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h512-t1", now=0.0)
+        assert controller.find_idle_deployment("gru-h512-t1") is deployment
+        deployment.acquire()
+        assert controller.find_idle_deployment("gru-h512-t1") is None
+
+
+class TestEviction:
+    def test_eviction_requires_patience(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        # Fill the cluster with L deployments.
+        first, _ = controller.deploy("gru-h2560-t375", now=0.0)
+        second, _ = controller.deploy("gru-h2304-t250", now=0.0)
+        with pytest.raises(AllocationError):
+            controller.deploy("lstm-h1536-t50", now=0.0, waited_s=0.0)
+
+    def test_eviction_after_patience(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        controller.deploy("gru-h2560-t375", now=0.0)
+        controller.deploy("gru-h2304-t250", now=0.0)
+        deployment, _ = controller.deploy(
+            "lstm-h1536-t50", now=1.0, waited_s=1.0
+        )
+        assert deployment.model_key == "lstm-h1536-t50"
+        assert controller.stats.deployments_evicted >= 1
+
+    def test_busy_deployments_never_evicted(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        a, _ = controller.deploy("gru-h2560-t375", now=0.0)
+        b, _ = controller.deploy("gru-h2304-t250", now=0.0)
+        a.acquire()
+        b.acquire()
+        with pytest.raises(AllocationError):
+            controller.deploy("lstm-h1536-t50", now=10.0, waited_s=10.0)
+        assert a.state is DeploymentState.BUSY
+
+    def test_explicit_evict_frees_blocks(self, shared_catalog):
+        controller, cluster = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h512-t1")
+        free_before = sum(cluster.total_free_blocks().values())
+        controller.evict(deployment)
+        assert sum(cluster.total_free_blocks().values()) > free_before
+
+    def test_evicting_busy_rejected(self, shared_catalog):
+        controller, _ = _controller(shared_catalog)
+        deployment, _ = controller.deploy("gru-h512-t1")
+        deployment.acquire()
+        with pytest.raises(AllocationError):
+            controller.evict(deployment)
+
+
+class TestRestrictedPolicy:
+    def test_same_type_pairs_only(self, shared_catalog):
+        controller, _ = _controller(shared_catalog, same_type_only=True)
+        deployment, _ = controller.deploy("gru-h2304-t250")
+        types = {p.device_type for p in deployment.placements}
+        assert len(types) == 1
+
+    def test_mixed_pair_used_when_same_type_impossible(self, shared_catalog):
+        controller, cluster = _controller(shared_catalog)
+        # Occupy two of the three V37s so no same-type pair remains.
+        cluster.board("vu37p-0").allocate("blocker", 16)
+        cluster.board("vu37p-1").allocate("blocker", 16)
+        deployment, _ = controller.deploy("gru-h2304-t250")
+        types = {p.device_type for p in deployment.placements}
+        assert types == {"XCVU37P", "XCKU115"}
+
+    def test_restricted_fails_where_mixed_would_work(self, shared_catalog):
+        controller, cluster = _controller(shared_catalog, same_type_only=True)
+        cluster.board("vu37p-0").allocate("blocker", 16)
+        cluster.board("vu37p-1").allocate("blocker", 16)
+        with pytest.raises(AllocationError):
+            controller.deploy("gru-h2304-t250")
+
+
+class TestPlacementPolicies:
+    def test_best_fit_packs(self, shared_catalog):
+        controller, cluster = _controller(
+            shared_catalog, placement=PlacementPolicy.BEST_FIT
+        )
+        controller.deploy("gru-h512-t1")
+        controller.deploy("gru-h512-t1")
+        used_boards = {
+            b.fpga_id for b in cluster.boards.values() if b.used_blocks
+        }
+        assert len(used_boards) == 1  # both packed onto the same board
+
+    def test_worst_fit_spreads(self, shared_catalog):
+        controller, cluster = _controller(
+            shared_catalog, placement=PlacementPolicy.WORST_FIT
+        )
+        controller.deploy("gru-h512-t1")
+        controller.deploy("gru-h512-t1")
+        used_boards = {
+            b.fpga_id for b in cluster.boards.values() if b.used_blocks
+        }
+        assert len(used_boards) == 2
+
+
+class TestPlanOrder:
+    def test_widest_first_uses_more_fpgas(self, shared_catalog):
+        from repro.runtime.controller import PlanOrder
+
+        greedy, _ = _controller(shared_catalog)
+        widest, _ = _controller(
+            shared_catalog, plan_order=PlanOrder.WIDEST_FIRST
+        )
+        few, _ = greedy.deploy("gru-h1536-t375")
+        many, _ = widest.deploy("gru-h1536-t375")
+        assert len(few.placements) == 1
+        assert len(many.placements) >= 2
+
+    def test_default_is_fewest(self, shared_catalog):
+        from repro.runtime.controller import PlanOrder
+
+        controller, _ = _controller(shared_catalog)
+        assert controller.plan_order is PlanOrder.FEWEST_FPGAS

@@ -1,0 +1,63 @@
+"""Deployment state-machine tests."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.runtime.catalog import DeploymentPlan
+from repro.runtime.deployment import (
+    Deployment,
+    DeploymentState,
+    ReplicaPlacement,
+)
+
+
+def _deployment() -> Deployment:
+    plan = DeploymentPlan(model_key="gru-h512-t1", replicas=1)
+    return Deployment(
+        deployment_id="dep-test",
+        model_key="gru-h512-t1",
+        plan=plan,
+        placements=[
+            ReplicaPlacement(
+                fpga_id="vu37p-0", device_type="XCVU37P", virtual_blocks=4
+            )
+        ],
+        service_s=0.001,
+    )
+
+
+class TestStateMachine:
+    def test_starts_idle(self):
+        deployment = _deployment()
+        assert deployment.is_idle
+        assert deployment.state is DeploymentState.IDLE
+
+    def test_acquire_release_cycle(self):
+        deployment = _deployment()
+        deployment.acquire()
+        assert deployment.state is DeploymentState.BUSY
+        deployment.release(now=5.0)
+        assert deployment.is_idle
+        assert deployment.last_used_s == 5.0
+        assert deployment.tasks_served == 1
+
+    def test_double_acquire_rejected(self):
+        deployment = _deployment()
+        deployment.acquire()
+        with pytest.raises(DeploymentError):
+            deployment.acquire()
+
+    def test_release_idle_rejected(self):
+        with pytest.raises(DeploymentError):
+            _deployment().release(now=0.0)
+
+    def test_member_fpgas(self):
+        assert _deployment().member_fpgas == ["vu37p-0"]
+
+    def test_tasks_served_accumulates(self):
+        deployment = _deployment()
+        for stamp in (1.0, 2.0, 3.0):
+            deployment.acquire()
+            deployment.release(now=stamp)
+        assert deployment.tasks_served == 3
+        assert deployment.last_used_s == 3.0

@@ -1,0 +1,156 @@
+"""Tests for the top-down decomposition flow, peripheral constraints and
+the hypervisor API."""
+
+import pytest
+
+from repro.accel import BW_V37, CONTROL_MODULES, generate_accelerator
+from repro.cluster import paper_cluster
+from repro.core import PatternKind, decompose, decompose_top_down
+from repro.errors import AllocationError, CompileError, DecomposeError, DeploymentError
+from repro.resources import ResourceVector
+from repro.runtime import Catalog, HypervisorAPI, SystemController
+from repro.units import mbit, mhz
+from repro.vital import LowLevelController, VitalCompiler, XCVU37P
+from repro.vital.device import FPGAModel
+
+
+class TestTopDownFlow:
+    @pytest.fixture(scope="class")
+    def both(self):
+        design = generate_accelerator(BW_V37.with_tiles(4, name="td-test"))
+        return (
+            decompose_top_down(design, CONTROL_MODULES),
+            decompose(design, CONTROL_MODULES),
+        )
+
+    def test_root_pattern_matches_bottom_up(self, both):
+        top_down, bottom_up = both
+        assert top_down.data_root.kind is bottom_up.data_root.kind
+        assert len(top_down.data_root.children) == len(
+            bottom_up.data_root.children
+        )
+
+    def test_lane_stages_match(self, both):
+        top_down, bottom_up = both
+        td_stages = [l.module_name for l in top_down.data_root.children[0].children]
+        bu_stages = [l.module_name for l in bottom_up.data_root.children[0].children]
+        assert td_stages == bu_stages
+
+    def test_leaf_sets_equal(self, both):
+        top_down, bottom_up = both
+        assert sorted(
+            leaf.module_name for leaf in top_down.data_root.leaves()
+        ) == sorted(leaf.module_name for leaf in bottom_up.data_root.leaves())
+
+    def test_resources_equal(self, both):
+        top_down, bottom_up = both
+        assert list(top_down.total_resources()) == pytest.approx(
+            list(bottom_up.total_resources())
+        )
+
+    def test_inter_stage_bandwidths_match(self, both):
+        top_down, bottom_up = both
+        td = [c.out_bits for c in top_down.data_root.children[0].children]
+        bu = [c.out_bits for c in bottom_up.data_root.children[0].children]
+        assert td == bu
+
+    def test_requires_control_mark(self):
+        design = generate_accelerator(BW_V37.with_tiles(2, name="td-nc"))
+        with pytest.raises(DecomposeError):
+            decompose_top_down(design, control_modules={"nothing"})
+
+    def test_mini_design(self, mini_design):
+        result = decompose_top_down(mini_design, {"decoder"})
+        assert result.data_root.kind is PatternKind.DATA
+        assert len(result.data_root.children) == 4
+
+
+class TestPeripheralConstraints:
+    def _networkless_device(self):
+        return FPGAModel(
+            name="XCNONET",
+            resources=XCVU37P.resources,
+            block_capacity=XCVU37P.block_capacity,
+            total_blocks=XCVU37P.total_blocks,
+            frequency_hz=mhz(400),
+            peripherals=frozenset({"pcie", "dram"}),
+        )
+
+    def test_provides(self):
+        assert XCVU37P.provides({"dram", "network"})
+        assert not self._networkless_device().provides({"network"})
+
+    def test_compile_rejects_missing_peripheral(self):
+        compiler = VitalCompiler()
+        with pytest.raises(CompileError, match="network"):
+            compiler.compile_cluster(
+                "acc", 1, "sig", ResourceVector(luts=1000.0),
+                self._networkless_device(),
+                required_peripherals=frozenset(("dram", "network")),
+            )
+
+    def test_single_cluster_ok_without_network(self, mini_decomposed):
+        from repro.core import partition
+
+        device = self._networkless_device()
+        compiler = VitalCompiler(devices={device.name: device})
+        tree = partition(mini_decomposed, iterations=1)
+        compiled = compiler.compile_accelerator(mini_decomposed, tree)
+        # Only the 1-cluster option survives: multi-cluster frontiers need
+        # the inter-FPGA network this device lacks.
+        assert [o.num_clusters for o in compiled.mapping.options] == [1]
+
+
+class TestHypervisorAPI:
+    @pytest.fixture
+    def api(self):
+        catalog = Catalog(VitalCompiler())
+        controller = SystemController(
+            paper_cluster(), catalog, LowLevelController(catalog.compiler.store)
+        )
+        return HypervisorAPI(controller)
+
+    def test_submit_and_complete(self, api):
+        handle = api.submit("gru-h512-t1")
+        assert handle is not None
+        assert handle.predicted_service_s > 0
+        assert len(handle.fpga_ids) == 1
+        assert api.in_flight() == 1
+        api.complete(handle)
+        assert api.in_flight() == 0
+
+    def test_resubmit_reuses_deployment(self, api):
+        first = api.submit("gru-h512-t1")
+        api.complete(first)
+        second = api.submit("gru-h512-t1")
+        assert second.deployment_id == first.deployment_id
+        # The second admission pays no reconfiguration.
+        assert second.predicted_service_s < first.predicted_service_s
+
+    def test_double_complete_rejected(self, api):
+        handle = api.submit("gru-h512-t1")
+        api.complete(handle)
+        with pytest.raises(DeploymentError):
+            api.complete(handle)
+
+    def test_submit_returns_none_when_full(self, api):
+        handles = []
+        while True:
+            handle = api.submit("gru-h2304-t250")
+            if handle is None:
+                break
+            handles.append(handle)
+        assert len(handles) >= 1  # at least one 2-FPGA deployment fits
+
+    def test_status_snapshot(self, api):
+        api.submit("lstm-h256-t150")
+        status = api.status()
+        assert "lstm-h256-t150" in status.models_resident
+        assert status.deployments[0]["state"] == "busy"
+        assert sum(status.free_blocks.values()) < 58
+
+    def test_evict_idle(self, api):
+        handle = api.submit("gru-h512-t1")
+        api.complete(handle)
+        assert api.evict_idle("gru-h512-t1") == 1
+        assert api.status().models_resident == []
