@@ -82,10 +82,11 @@ class ScaleOutFabric:
         self.bytes_transferred = 0
 
     def send(self, replica: int, addr: int, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
         queues = self._sends.setdefault(
             addr, [[] for _ in range(self.replicas)]
         )
-        queues[replica].append(np.asarray(values, dtype=np.float64))
+        queues[replica].append(values)
         self.bytes_transferred += values.size * 2  # float16 on the wire
 
     def try_recv(self, replica: int, addr: int, full_length: int):

@@ -9,6 +9,15 @@ measured as completed tasks per second of makespan.
 The simulator is system-agnostic: schedulers implement the small
 :class:`Scheduler` protocol.  Pending tasks queue FIFO per model so results
 are deterministic.
+
+Dispatch is incremental: when a model's task fails to start, the simulator
+records a *watermark* — the resource-state version it failed under plus the
+scheduler's earliest time-gate hint (:meth:`Scheduler.retry_hint`) — and
+skips every task of that model until resources change (an arrival, start or
+finish bumps the version) or the clock reaches the hint.  A skipped attempt
+is one the scheduler would provably have declined, so schedules (and
+therefore experiment outputs) are identical to exhaustive re-scanning while
+the number of placement attempts drops by orders of magnitude.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from ..errors import SimulationError
+from ..perf.profiling import PROFILER
 from .events import EventQueue
 
 
@@ -59,6 +69,14 @@ class Scheduler(Protocol):
         """Optional: True when ``task`` can start without reconfiguration
         (an idle deployment of its model is resident).  The simulator serves
         fast-path tasks first to preserve locality."""
+        ...
+
+    def retry_hint(self, task: Task, now: float) -> float:  # pragma: no cover - optional
+        """Optional: after ``try_start`` declined ``task``, the earliest
+        future time a retry could succeed *without* any resource release in
+        between (``math.inf`` when only a release can help).  Hints must be
+        conservative (never later than the true unblock time); the simulator
+        uses them to skip provably fruitless attempts."""
         ...
 
 
@@ -108,11 +126,19 @@ class ClusterSimulator:
         self._running_count = 0
         self._retry_scheduled = False
         self._idle_retries = 0
+        #: Monotonic version of cluster resource state; bumped whenever an
+        #: arrival, start or finish could change a try_start outcome.
+        self._resource_version = 0
+        #: model key -> (version it failed under, earliest useful retry time).
+        self._blocked: dict[str, tuple[int, float]] = {}
 
     # -- event handlers ----------------------------------------------------------
 
     def _arrive(self, task: Task) -> None:
         self._pending.append(task)
+        # A new arrival changes queue pressure, which admission/expansion
+        # policies observe — previously blocked models must be re-attempted.
+        self._resource_version += 1
         self._dispatch()
 
     def _dispatch(self) -> None:
@@ -122,12 +148,19 @@ class ClusterSimulator:
         the whole queue so a small task can slip past a blocked large one
         (all three evaluated systems admit out-of-order placement), but
         tasks of the same model stay FIFO because the scan preserves order.
+
+        Tasks whose model is below its watermark — failed at this resource
+        version, clock still short of the scheduler's retry hint — are
+        skipped without consulting the scheduler: within one version the
+        scheduler's answer for that model cannot have changed, and same-model
+        tasks later in the scan hold strictly weaker time gates.
         """
         if self._dispatching:
             return  # avoid re-entrant scans from nested on_finish calls
         self._dispatching = True
         fast_path = getattr(self.scheduler, "has_fast_path", None)
         observe = getattr(self.scheduler, "observe_queue", None)
+        retry_hint = getattr(self.scheduler, "retry_hint", None)
         try:
             progress = True
             while progress:
@@ -147,17 +180,40 @@ class ClusterSimulator:
                     # start first, so a cold task never evicts a hot model
                     # out from under its queued work.
                     scan.sort(key=lambda t: (not fast_path(t), t.arrival_s))
+                now = self.queue.now
                 for task in scan:
-                    service = self.scheduler.try_start(task, self.queue.now)
+                    watermark = self._blocked.get(task.model_key)
+                    if (
+                        watermark is not None
+                        and watermark[0] == self._resource_version
+                        and now < watermark[1]
+                    ):
+                        PROFILER.incr("simulator.watermark_skips")
+                        continue
+                    service = self.scheduler.try_start(task, now)
+                    PROFILER.incr("simulator.try_start_attempts")
                     if service is None:
+                        hint = (
+                            retry_hint(task, now)
+                            if retry_hint is not None
+                            else now  # no hint: retry every pass (exhaustive)
+                        )
+                        self._blocked[task.model_key] = (
+                            self._resource_version,
+                            hint,
+                        )
                         continue
                     if service < 0:
                         raise SimulationError(
                             f"scheduler returned negative service time {service}"
                         )
                     self._pending.remove(task)
-                    task.start_s = self.queue.now
+                    task.start_s = now
                     self._running_count += 1
+                    self._blocked.pop(task.model_key, None)
+                    # Starting a task reshapes resources (allocation, possible
+                    # evictions, queue depth): every watermark is stale.
+                    self._resource_version += 1
                     self.queue.schedule_in(service, self._finish, task)
                     progress = True
                     self._idle_retries = 0
@@ -186,6 +242,7 @@ class ClusterSimulator:
         self._running_count -= 1
         self.scheduler.on_finish(task, self.queue.now)
         self._result.completed.append(task)
+        self._resource_version += 1
         self._dispatch()
 
     # -- entry point -----------------------------------------------------------------
@@ -197,6 +254,7 @@ class ClusterSimulator:
         for task in tasks:
             self.queue.schedule(task.arrival_s, self._arrive, task)
         self.queue.run()
+        PROFILER.incr("simulator.events", self.queue.processed)
         if self._pending:
             stuck = sorted({t.model_key for t in self._pending})
             raise SimulationError(

@@ -80,8 +80,7 @@ class FPGACluster:
     def reset(self) -> None:
         """Release every virtual block (fresh simulation run)."""
         for board in self.boards.values():
-            for block in board.blocks:
-                block.owner = None
+            board.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kinds = {}

@@ -15,6 +15,8 @@ rows/series the paper reports:
   cost accounting (decompose/partition share, amortised scale-down cost).
 * :mod:`~repro.experiments.isolation` — Section 4.4's performance-isolation
   result (instruction buffer vs shared-DRAM contention).
+* :mod:`~repro.experiments.bench_fig12` — profiled Fig. 12 benchmark driver
+  (emits ``BENCH_fig12.json`` with wall-clock and placement counters).
 """
 
 from .report import format_table
@@ -25,6 +27,10 @@ from .fig11 import run_fig11, Fig11Curve
 from .fig12 import run_fig12, Fig12Row
 from .compile_overhead import run_compile_overhead, CompileOverheadResult
 from .isolation import run_isolation, IsolationRow
+
+# NOTE: bench_fig12 is deliberately not imported here so that
+# ``python -m repro.experiments.bench_fig12`` runs without the runpy
+# already-imported warning; use it as a module entry point.
 
 __all__ = [
     "CompileOverheadResult",

@@ -70,20 +70,30 @@ def bfp_quantize(values: np.ndarray, fmt: BFPFormat = DEFAULT_FORMAT) -> np.ndar
     Blocks run along the last axis (matrix rows quantise per row-block, the
     layout the tile engines consume).  The returned array is float64 but
     contains only exactly-representable BFP values.
+
+    Tile-aligned inputs (last axis already a multiple of the block size —
+    the common case: engines consume whole tiles) skip the pad/unpad
+    round-trip, so the only allocation is the quantised result itself.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
-        return values.copy()
+        return values
     original_shape = values.shape
     padded = _pad_to_blocks(values, fmt.block_size)
     blocked = padded.reshape(*padded.shape[:-1], -1, fmt.block_size)
     block_max = np.max(np.abs(blocked), axis=-1, keepdims=True)
     # Shared exponent: scale so the block max maps to the mantissa range.
+    # Blocks whose max is zero — or so deeply subnormal the scale underflows
+    # to zero — quantise against unit scale (everything rounds to 0).
     scale = np.where(block_max > 0, block_max / fmt.max_mantissa, 1.0)
+    scale = np.where(scale > 0, scale, 1.0)
     mantissas = np.clip(
         np.rint(blocked / scale), -fmt.max_mantissa - 1, fmt.max_mantissa
     )
     dequant = mantissas * scale
+    if padded is values:
+        # Aligned fast path: no padding was added, reshape is a view.
+        return dequant.reshape(original_shape)
     flat = dequant.reshape(padded.shape)
     slicer = tuple(slice(0, dim) for dim in original_shape)
     return flat[slicer]

@@ -1,0 +1,63 @@
+"""Lightweight runtime profiling: a counter registry plus wall-clock timers.
+
+The hot-path instrumentation the allocator/DES overhaul is measured by.
+Counters are plain integer bumps in a process-wide registry (cheap enough
+to stay enabled in production runs); timers are context managers that
+accumulate wall-clock per stage.  ``ClusterSimulator`` and
+``SystemController`` increment a shared default registry so a benchmark
+driver can snapshot placement-attempt and event counts across a whole
+experiment (see :mod:`repro.experiments.bench_fig12`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+
+class Profiler:
+    """A named-counter registry with wall-clock stage timers."""
+
+    def __init__(self):
+        self.counters: dict[str, int] = defaultdict(int)
+        self.timings: dict[str, float] = defaultdict(float)
+
+    # -- counters ------------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall-clock of the enclosed block under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.timings[name] += time.perf_counter() - start
+
+    def elapsed(self, name: str) -> float:
+        return self.timings.get(name, 0.0)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timings.clear()
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view of every counter and timer."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timings_s": dict(sorted(self.timings.items())),
+        }
+
+
+#: Process-wide default registry the runtime increments into.
+PROFILER = Profiler()

@@ -74,10 +74,14 @@ class CatalogEntry:
 
     spec: ModelSpec
     plans: list = field(default_factory=list)
+    _sorted_cache: list | None = field(default=None, init=False, repr=False)
 
     def sorted_plans(self) -> list:
-        """The greedy policy's search order (ascending width)."""
-        return sorted(self.plans, key=lambda plan: plan.replicas)
+        """The greedy policy's search order (ascending width), cached —
+        ``deploy`` asks for it on every placement attempt."""
+        if self._sorted_cache is None or len(self._sorted_cache) != len(self.plans):
+            self._sorted_cache = sorted(self.plans, key=lambda plan: plan.replicas)
+        return self._sorted_cache
 
     def min_replicas(self) -> int:
         if not self.plans:
@@ -102,9 +106,50 @@ class Catalog:
         self._entries: dict[str, CatalogEntry] = {}
         # (tiles, device_type) -> (decomposed, partition tree)
         self._design_cache: dict = {}
+        # (model_key, device_type) -> min virtual blocks over any plan image
+        self._min_blocks_cache: dict = {}
+        # (model_key, device_type, free_blocks) -> bool
+        self._feasibility_cache: dict = {}
         self.designs_generated = 0
 
     # -- public API ------------------------------------------------------------
+
+    def min_image_blocks(self, model_key: str, device_type: str) -> int | None:
+        """Smallest virtual-block demand any plan of ``model_key`` places on
+        one board of ``device_type`` (``None`` when no plan has an image for
+        that type).  Cached — the controller's fast-reject asks per attempt."""
+        key = (model_key, device_type)
+        if key not in self._min_blocks_cache:
+            entry = self._entries.get(model_key)
+            if entry is None:
+                raise ReproError(
+                    f"min_image_blocks: no catalog entry for {model_key!r}"
+                )
+            blocks = [
+                plan.images[device_type].virtual_blocks
+                for plan in entry.plans
+                if device_type in plan.images
+            ]
+            self._min_blocks_cache[key] = min(blocks) if blocks else None
+        return self._min_blocks_cache[key]
+
+    def placement_feasible(
+        self, model_key: str, device_type: str, free_blocks: int
+    ) -> bool:
+        """Whether any plan of ``model_key`` could put a replica on a
+        ``device_type`` board with ``free_blocks`` free.
+
+        A necessary condition for placement (each replica needs one board
+        hosting one image), memoized per ``(model, type, free)`` so the
+        runtime's hot no-capacity path costs one dict probe.
+        """
+        key = (model_key, device_type, free_blocks)
+        cached = self._feasibility_cache.get(key)
+        if cached is None:
+            needed = self.min_image_blocks(model_key, device_type)
+            cached = needed is not None and needed <= free_blocks
+            self._feasibility_cache[key] = cached
+        return cached
 
     def entry(self, spec: ModelSpec) -> CatalogEntry:
         """The catalog entry for ``spec`` (built on first request)."""

@@ -6,6 +6,13 @@ of soft blocks in ascending order [and] tries to find a feasible allocation
 starting from the first mapping result" — and sends configuration requests
 to the HS abstraction's low-level controller.
 
+Placement queries run against a :class:`PlacementIndex`: a per-device-type
+bisect-maintained list of ``(free_blocks, fpga_id)`` entries kept current
+by board occupancy notifications, so candidate selection is an index probe
+instead of a cluster scan.  Deployment lookups are likewise indexed per
+model.  Real FPGA-virtualization runtimes keep allocator state incremental
+for the same reason; the policies themselves are unchanged.
+
 Policy knobs reproduce the systems of Fig. 12:
 
 * ``same_type_only=True`` is the *restricted* policy that emulates existing
@@ -16,6 +23,7 @@ Policy knobs reproduce the systems of Fig. 12:
 
 from __future__ import annotations
 
+import bisect
 import enum
 import itertools
 from dataclasses import dataclass
@@ -30,6 +38,7 @@ from ..cluster.topology import FPGACluster
 from ..errors import AllocationError
 from ..perf.latency import single_fpga_latency, weight_load_seconds
 from ..perf.overlap import scaleout_latency
+from ..perf.profiling import PROFILER
 from ..units import ms
 from ..vital.bitstream import LowLevelController
 from ..workloads.deepbench import model_by_key
@@ -68,6 +77,87 @@ class ControllerStats:
     deployments_evicted: int = 0
     placement_failures: int = 0
     reuse_hits: int = 0
+    #: Full placement searches actually run (post fast-reject).
+    placement_searches: int = 0
+    #: Placement attempts answered by the capacity fast-reject alone.
+    fast_rejects: int = 0
+
+
+class PlacementIndex:
+    """Per-device-type sorted free-capacity index over cluster boards.
+
+    Each device type keeps a bisect-maintained ascending list of
+    ``(free_blocks, fpga_id)``; boards push occupancy deltas through the
+    :meth:`PhysicalFPGA.subscribe` hook, so the index stays exact even when
+    callers allocate on boards directly (tests do).  Queries — best-fit
+    candidate order, max free capacity, count of boards above a threshold —
+    are O(log n) probes plus the slice actually consumed.
+    """
+
+    def __init__(self, cluster: FPGACluster):
+        self._boards: dict[str, object] = dict(cluster.boards)
+        self._by_type: dict[str, list[tuple[int, str]]] = {}
+        self._id_order: dict[str, list] = {}
+        for board in cluster.boards.values():
+            self._by_type.setdefault(board.model.name, []).append(
+                (board.free_blocks, board.fpga_id)
+            )
+            self._id_order.setdefault(board.model.name, []).append(board)
+            board.subscribe(self._on_change)
+        for entries in self._by_type.values():
+            entries.sort()
+        for boards in self._id_order.values():
+            boards.sort(key=lambda b: b.fpga_id)
+
+    def _on_change(self, board, old_free: int) -> None:
+        entries = self._by_type[board.model.name]
+        at = bisect.bisect_left(entries, (old_free, board.fpga_id))
+        entries.pop(at)
+        bisect.insort(entries, (board.free_blocks, board.fpga_id))
+
+    # -- queries -------------------------------------------------------------
+
+    def device_types(self) -> list:
+        return sorted(self._by_type)
+
+    def max_free(self, device_type: str) -> int:
+        """Largest free-block count on any board of ``device_type``."""
+        entries = self._by_type.get(device_type)
+        return entries[-1][0] if entries else 0
+
+    def count_with_at_least(self, device_type: str, blocks: int) -> int:
+        """How many boards of ``device_type`` have ``>= blocks`` free."""
+        entries = self._by_type.get(device_type, [])
+        return len(entries) - bisect.bisect_left(entries, (blocks, ""))
+
+    def boards_best_fit(self, device_type: str) -> list:
+        """Boards of one type, fullest-that-fits first ((free, id) order)."""
+        boards = self._boards
+        return [
+            boards[fpga_id] for _, fpga_id in self._by_type.get(device_type, [])
+        ]
+
+    def boards_worst_fit(self, device_type: str) -> list:
+        """Boards of one type, emptiest first ((-free, id) order)."""
+        entries = self._by_type.get(device_type, [])
+        boards = self._boards
+        ordered = sorted(entries, key=lambda entry: (-entry[0], entry[1]))
+        return [boards[fpga_id] for _, fpga_id in ordered]
+
+    def boards_by_id(self, device_type: str) -> list:
+        """Boards of one type in stable fpga-id order."""
+        return list(self._id_order.get(device_type, []))
+
+    def check_consistent(self) -> bool:
+        """Index entries match a from-scratch recount (invariant tests)."""
+        for device_type, entries in self._by_type.items():
+            expected = sorted(
+                (board.recount_free_blocks(), board.fpga_id)
+                for board in self._id_order[device_type]
+            )
+            if entries != expected:
+                return False
+        return True
 
 
 class SystemController:
@@ -97,18 +187,25 @@ class SystemController:
         self.reconfig_s_per_block = reconfig_s_per_block
         self.eviction_patience_s = eviction_patience_s
         self.deployments: dict[str, Deployment] = {}
+        self.index = PlacementIndex(cluster)
         self.stats = ControllerStats()
         self._ids = itertools.count(1)
         self._service_cache: dict = {}
+        #: model key -> resident deployments in creation order.
+        self._by_model: dict[str, list[Deployment]] = {}
 
     # -- public API (what the hypervisor calls) -------------------------------------
 
     def find_idle_deployment(self, model_key: str) -> Deployment | None:
         """An already-resident idle deployment of this model, if any."""
-        for deployment in self.deployments.values():
-            if deployment.model_key == model_key and deployment.is_idle:
+        for deployment in self._by_model.get(model_key, ()):
+            if deployment.is_idle:
                 return deployment
         return None
+
+    def deployment_count(self, model_key: str) -> int:
+        """Resident deployments of one model (busy or idle)."""
+        return len(self._by_model.get(model_key, ()))
 
     def deploy(
         self,
@@ -130,16 +227,21 @@ class SystemController:
         have waited out the patience window (which batches same-model work
         between reconfigurations).
         """
+        PROFILER.incr("controller.deploy_calls")
         entry = self.catalog.entry(model_by_key(model_key))
         plans = entry.sorted_plans()
         if self.plan_order is PlanOrder.WIDEST_FIRST:
             plans = list(reversed(plans))
         may_evict = waited_s >= self.eviction_patience_s
         while True:
-            for plan in plans:
-                assignment = self._find_placement(plan, allow_mixed=allow_mixed)
-                if assignment is not None:
-                    return self._instantiate(plan, assignment, now)
+            if self._any_plan_could_fit(model_key):
+                for plan in plans:
+                    assignment = self._find_placement(plan, allow_mixed=allow_mixed)
+                    if assignment is not None:
+                        return self._instantiate(plan, assignment, now)
+            else:
+                self.stats.fast_rejects += 1
+                PROFILER.incr("controller.fast_rejects")
             if not may_evict or not self._evict_one_idle(now, model_key):
                 self.stats.placement_failures += 1
                 raise AllocationError(
@@ -161,15 +263,41 @@ class SystemController:
             board = self.cluster.board(placement.fpga_id)
             self.low_level.release(board, deployment.deployment_id)
         del self.deployments[deployment.deployment_id]
+        siblings = self._by_model.get(deployment.model_key)
+        if siblings is not None:
+            try:
+                siblings.remove(deployment)
+            except ValueError:
+                pass
+            if not siblings:
+                del self._by_model[deployment.model_key]
         self.stats.deployments_evicted += 1
 
     # -- placement search --------------------------------------------------------------
 
+    def _any_plan_could_fit(self, model_key: str) -> bool:
+        """Capacity fast-reject: every placement needs at least one board
+        able to host one replica image, so when no device type has that much
+        free the whole plan loop is skipped (memoized in the catalog)."""
+        feasible = self.catalog.placement_feasible
+        max_free = self.index.max_free
+        return any(
+            feasible(model_key, device_type, max_free(device_type))
+            for device_type in self.index.device_types()
+        )
+
+    def _boards_in_policy_order(self, device_type: str) -> list:
+        if self.placement is PlacementPolicy.BEST_FIT:
+            return self.index.boards_best_fit(device_type)
+        if self.placement is PlacementPolicy.WORST_FIT:
+            return self.index.boards_worst_fit(device_type)
+        return self.index.boards_by_id(device_type)
+
     def _candidate_boards(self, plan: DeploymentPlan) -> list:
         boards = [
             board
-            for board in self.cluster.boards.values()
-            if board.model.name in plan.images
+            for device_type in plan.feasible_types
+            for board in self.index.boards_by_id(device_type)
         ]
         if self.placement is PlacementPolicy.BEST_FIT:
             boards.sort(key=lambda b: (b.free_blocks, b.fpga_id))
@@ -190,10 +318,19 @@ class SystemController:
         ``allow_mixed=False`` suppresses cross-type assignments (callers use
         it to keep scarce device types free for other queued models).
         """
-        candidates = self._candidate_boards(plan)
+        PROFILER.incr("controller.find_placement_calls")
+        self.stats.placement_searches += 1
         options: list = []
         for device_type in plan.feasible_types:
-            subset = [b for b in candidates if b.model.name == device_type]
+            image = plan.images[device_type]
+            # Index probe: a same-type assignment needs `replicas` boards
+            # with enough free blocks — skip the pick when too few exist.
+            if (
+                self.index.count_with_at_least(device_type, image.virtual_blocks)
+                < plan.replicas
+            ):
+                continue
+            subset = self._boards_in_policy_order(device_type)
             chosen = self._pick_boards(plan, subset)
             if chosen is not None:
                 options.append(chosen)
@@ -207,7 +344,7 @@ class SystemController:
                 key=lambda assignment: self._estimate_service(plan, assignment),
             )
         if not self.same_type_only and plan.replicas > 1 and allow_mixed:
-            return self._pick_boards(plan, candidates)
+            return self._pick_boards(plan, self._candidate_boards(plan))
         return None
 
     def _estimate_service(self, plan: DeploymentPlan, assignment: list) -> float:
@@ -295,6 +432,7 @@ class SystemController:
         )
         deployment.service_s = self._service_time(plan, placements)
         self.deployments[deployment_id] = deployment
+        self._by_model.setdefault(plan.model_key, []).append(deployment)
         self.stats.deployments_created += 1
         return deployment, reconfig
 

@@ -15,6 +15,7 @@ protocol.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..accel.config import AcceleratorConfig
@@ -65,11 +66,7 @@ class ProposedSystem:
         self._queue_view = dict(pending_by_model)
 
     def _deployment_count(self, model_key: str) -> int:
-        return sum(
-            1
-            for d in self.controller.deployments.values()
-            if d.model_key == model_key
-        )
+        return self.controller.deployment_count(model_key)
 
     def _expansion_allowed(self, model_key: str) -> bool:
         """Fairness: a model with copies yields space to pending models
@@ -86,7 +83,13 @@ class ProposedSystem:
         seen = getattr(self, "_seen_models", None)
         if seen is None:
             seen = self._seen_models = {}
-        seen[task.model_key] = seen.get(task.model_key, 0) + 1
+            self._seen_tasks = set()
+        if task.task_id not in self._seen_tasks:
+            # Count each task once (on its first attempt), so the observed
+            # model mix is a property of the stream, not of how often the
+            # dispatch loop happened to retry a blocked task.
+            self._seen_tasks.add(task.task_id)
+            seen[task.model_key] = seen.get(task.model_key, 0) + 1
         deployment = self.controller.find_idle_deployment(task.model_key)
         reconfig = 0.0
         if deployment is None:
@@ -124,6 +127,38 @@ class ProposedSystem:
     def on_finish(self, task: Task, now: float) -> None:
         deployment = self._running.pop(task.task_id)
         self.controller.release(deployment, now)
+
+    def retry_hint(self, task: Task, now: float) -> float:
+        """Earliest time a declined task could start absent releases.
+
+        Two of the controller's gates open purely with the clock: the
+        requester ageing past the eviction-patience window, and an idle
+        foreign deployment going stale enough to evict.  Everything else
+        (queue pressure, deployment counts, free blocks) only moves on
+        arrivals/starts/finishes, which the simulator tracks by version.
+        Hints are biased a hair early so float rounding can only cause a
+        harmless extra attempt, never a missed one.
+        """
+        controller = self.controller
+        patience = controller.eviction_patience_s
+        if controller.deployment_count(task.model_key) > 0:
+            view = getattr(self, "_queue_view", {})
+            if view.get(task.model_key, 0) < self.EXPANSION_PRESSURE:
+                # Expansion without pressure never evicts (waited is zeroed):
+                # only a queue/resource change can help.
+                return math.inf
+        if now - task.arrival_s < patience:
+            return task.arrival_s + patience - 1e-12
+        # Eviction was allowed but found no stale victim: wake when the
+        # oldest idle foreign deployment crosses the staleness window.
+        wakes = [
+            d.last_used_s + patience
+            for d in controller.deployments.values()
+            if d.is_idle and d.model_key != task.model_key
+        ]
+        if not wakes:
+            return math.inf
+        return min(wakes) - 1e-12
 
 
 class RestrictedSystem(ProposedSystem):
@@ -314,6 +349,11 @@ class BaselineSystem:
     def on_finish(self, task: Task, now: float) -> None:
         for board in self._running.pop(task.task_id):
             board.busy_until_task = None
+
+    def retry_hint(self, task: Task, now: float) -> float:
+        """Static allocation has no time gates: a declined task can only
+        start after one of its assigned boards frees up (a finish)."""
+        return math.inf
 
 
 def build_system(

@@ -6,10 +6,18 @@ contiguous block counts (ViTAL compiles each cluster for a block *count*,
 not specific positions — blocks are identical, so any free subset works),
 and different accelerators share one device by occupying disjoint blocks
 (the paper's fine-grained spatial sharing).
+
+Occupancy bookkeeping is incremental: the board maintains a cached free
+count, a min-heap of free indices (so allocation still hands out the
+lowest-numbered free blocks, as the scan-based allocator did) and a
+per-owner index map, all updated in O(k log n) per allocate/release instead
+of rescanning every block.  Observers (the controller's placement index)
+subscribe to occupancy changes so derived structures never rescan either.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..errors import AllocationError
@@ -37,23 +45,46 @@ class PhysicalFPGA:
         self.blocks = [
             VirtualBlockState(index=i) for i in range(model.usable_blocks)
         ]
+        self._free_count = len(self.blocks)
+        # Min-heap of free indices: pop order matches the old first-free scan.
+        self._free_heap = list(range(len(self.blocks)))
+        self._owned: dict[str, list[int]] = {}
+        self._listeners: list = []
 
     # -- queries -------------------------------------------------------------
 
     @property
     def free_blocks(self) -> int:
-        return sum(1 for block in self.blocks if block.free)
+        return self._free_count
 
     @property
     def used_blocks(self) -> int:
-        return len(self.blocks) - self.free_blocks
+        return len(self.blocks) - self._free_count
 
     def owners(self) -> set:
         """Deployment ids currently resident on this board."""
-        return {block.owner for block in self.blocks if block.owner is not None}
+        return set(self._owned)
 
     def can_host(self, block_count: int) -> bool:
-        return 0 < block_count <= self.free_blocks
+        return 0 < block_count <= self._free_count
+
+    def recount_free_blocks(self) -> int:
+        """From-scratch recount over the occupancy records.
+
+        The allocator itself never calls this; it exists so invariant tests
+        can check the cached counter against ground truth.
+        """
+        return sum(1 for block in self.blocks if block.free)
+
+    # -- observers -----------------------------------------------------------
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(board, old_free_count)`` for occupancy changes."""
+        self._listeners.append(listener)
+
+    def _notify(self, old_free: int) -> None:
+        for listener in self._listeners:
+            listener(self, old_free)
 
     # -- allocation ---------------------------------------------------------------
 
@@ -65,25 +96,44 @@ class PhysicalFPGA:
         """
         if block_count <= 0:
             raise AllocationError(f"{self.fpga_id}: block count must be positive")
-        free = [block for block in self.blocks if block.free]
-        if len(free) < block_count:
+        if block_count > self._free_count:
             raise AllocationError(
                 f"{self.fpga_id}: requested {block_count} blocks, "
-                f"{len(free)} free"
+                f"{self._free_count} free"
             )
-        taken = free[:block_count]
-        for block in taken:
-            block.owner = owner
-        return [block.index for block in taken]
+        taken = [heapq.heappop(self._free_heap) for _ in range(block_count)]
+        for index in taken:
+            self.blocks[index].owner = owner
+        self._owned.setdefault(owner, []).extend(taken)
+        old_free = self._free_count
+        self._free_count -= block_count
+        self._notify(old_free)
+        return taken
 
     def release(self, owner: str) -> int:
         """Free every block held by ``owner``; returns the count released."""
-        released = 0
+        indices = self._owned.pop(owner, None)
+        if not indices:
+            return 0
+        for index in indices:
+            self.blocks[index].owner = None
+            heapq.heappush(self._free_heap, index)
+        old_free = self._free_count
+        self._free_count += len(indices)
+        self._notify(old_free)
+        return len(indices)
+
+    def reset(self) -> None:
+        """Release every block (fresh simulation run)."""
+        if self._free_count == len(self.blocks):
+            return
         for block in self.blocks:
-            if block.owner == owner:
-                block.owner = None
-                released += 1
-        return released
+            block.owner = None
+        self._owned.clear()
+        self._free_heap = list(range(len(self.blocks)))
+        old_free = self._free_count
+        self._free_count = len(self.blocks)
+        self._notify(old_free)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

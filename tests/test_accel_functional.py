@@ -198,6 +198,17 @@ class TestScaleOutFabric:
         fabric.send(0, SYNC_ADDRESS, np.zeros(8))
         assert fabric.bytes_transferred == 16
 
+    def test_send_accepts_plain_lists(self):
+        """Regression: send read ``values.size`` before ``np.asarray``, so a
+        plain Python list crashed with AttributeError."""
+        fabric = ScaleOutFabric(2)
+        fabric.send(0, SYNC_ADDRESS, [1.0, 2.0])
+        fabric.send(1, SYNC_ADDRESS, [3.0, 4.0])
+        assert fabric.bytes_transferred == 8
+        combined = fabric.try_recv(0, SYNC_ADDRESS, 4)
+        assert combined.dtype == np.float64
+        assert np.array_equal(combined, [1.0, 2.0, 3.0, 4.0])
+
 
 class TestEndToEndRNN:
     def test_gru_matches_reference(self, gru_small):

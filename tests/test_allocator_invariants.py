@@ -1,0 +1,149 @@
+"""Property-style invariants for the incremental allocator state.
+
+The board free-count cache, the free-index heap, the controller's placement
+index and the per-model deployment index are all maintained incrementally;
+these tests hammer them with randomized allocate/deploy/release/evict/reset
+sequences and assert they always equal a from-scratch recount.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.topology import paper_cluster
+from repro.errors import AllocationError
+from repro.runtime import Catalog, build_system
+from repro.vital import VitalCompiler
+from repro.vital.device import XCVU37P
+from repro.vital.virtual_block import PhysicalFPGA
+from repro.workloads.deepbench import MODEL_POOL
+
+
+def _assert_board_consistent(board: PhysicalFPGA) -> None:
+    assert board.free_blocks == board.recount_free_blocks()
+    assert board.used_blocks == len(board.blocks) - board.free_blocks
+    owned = {
+        block.owner for block in board.blocks if block.owner is not None
+    }
+    assert board.owners() == owned
+
+
+class TestBoardCounterInvariants:
+    def test_random_allocate_release_sequences(self):
+        rng = random.Random(42)
+        board = PhysicalFPGA("b0", XCVU37P)
+        live_owners: list[str] = []
+        next_owner = 0
+        for _ in range(2000):
+            action = rng.random()
+            if action < 0.55 or not live_owners:
+                count = rng.randint(1, 6)
+                owner = f"d{next_owner}"
+                try:
+                    indices = board.allocate(owner, count)
+                except AllocationError:
+                    assert count > board.free_blocks
+                else:
+                    assert len(indices) == count
+                    live_owners.append(owner)
+                    next_owner += 1
+            elif action < 0.95:
+                owner = live_owners.pop(rng.randrange(len(live_owners)))
+                assert board.release(owner) > 0
+            else:
+                board.reset()
+                live_owners.clear()
+            _assert_board_consistent(board)
+
+    def test_release_unknown_owner_is_noop(self):
+        board = PhysicalFPGA("b0", XCVU37P)
+        board.allocate("a", 3)
+        assert board.release("ghost") == 0
+        _assert_board_consistent(board)
+
+    def test_allocation_reuses_lowest_indices(self):
+        """The heap hands out the lowest-numbered free blocks, exactly like
+        the old first-free scan did."""
+        board = PhysicalFPGA("b0", XCVU37P)
+        assert board.allocate("a", 3) == [0, 1, 2]
+        assert board.allocate("b", 2) == [3, 4]
+        board.release("a")
+        assert board.allocate("c", 2) == [0, 1]
+        _assert_board_consistent(board)
+
+    def test_subscriber_sees_every_change(self):
+        board = PhysicalFPGA("b0", XCVU37P)
+        deltas: list[tuple[int, int]] = []
+        board.subscribe(lambda b, old: deltas.append((old, b.free_blocks)))
+        board.allocate("a", 4)
+        board.release("a")
+        board.allocate("b", 1)
+        board.reset()
+        total = len(board.blocks)
+        assert deltas == [
+            (total, total - 4),
+            (total - 4, total),
+            (total, total - 1),
+            (total - 1, total),
+        ]
+
+
+@pytest.fixture(scope="module")
+def deployed_controller():
+    """A controller with a built catalog over the paper cluster."""
+    cluster = paper_cluster()
+    system = build_system("proposed", cluster, Catalog(VitalCompiler()))
+    return cluster, system.controller
+
+
+class TestControllerIndexInvariants:
+    def test_random_deploy_evict_release(self, deployed_controller):
+        cluster, controller = deployed_controller
+        rng = random.Random(7)
+        model_keys = sorted(
+            {spec.key for specs in MODEL_POOL.values() for spec in specs}
+        )[:6]
+        live = []
+        now = 0.0
+        for _ in range(300):
+            now += 0.01
+            action = rng.random()
+            if action < 0.5:
+                key = rng.choice(model_keys)
+                try:
+                    deployment, _ = controller.deploy(key, now=now)
+                except AllocationError:
+                    pass
+                else:
+                    live.append(deployment)
+            elif live:
+                deployment = live.pop(rng.randrange(len(live)))
+                controller.evict(deployment)
+            # Every cached structure equals a from-scratch recount.
+            for board in cluster.boards.values():
+                _assert_board_consistent(board)
+            assert controller.index.check_consistent()
+            by_model: dict[str, int] = {}
+            for deployment in controller.deployments.values():
+                by_model[deployment.model_key] = (
+                    by_model.get(deployment.model_key, 0) + 1
+                )
+            for key in model_keys:
+                assert controller.deployment_count(key) == by_model.get(key, 0)
+
+    def test_index_tracks_direct_board_allocation(self, deployed_controller):
+        """Tests (and tools) allocate on boards directly; the placement
+        index must observe those too, not just controller-driven changes."""
+        cluster, controller = deployed_controller
+        board = cluster.board("vu37p-0")
+        take = board.free_blocks
+        if take:
+            board.allocate("direct-blocker", take)
+        assert controller.index.check_consistent()
+        assert controller.index.max_free(board.model.name) == max(
+            b.free_blocks
+            for b in cluster.boards.values()
+            if b.model.name == board.model.name
+        )
+        board.release("direct-blocker")
+        assert controller.index.check_consistent()

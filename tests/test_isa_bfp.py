@@ -58,6 +58,24 @@ class TestQuantize:
         quantised = bfp_quantize(values)
         assert quantised.shape == values.shape
 
+    def test_aligned_fast_path_matches_padded_path(self):
+        """Tile-aligned inputs skip the pad round-trip; values must match
+        the general path exactly (append a padding-forcing element)."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=32)  # two whole blocks
+        aligned = bfp_quantize(values)
+        unaligned = bfp_quantize(np.append(values, 1.0))[:-1]
+        assert np.array_equal(aligned, unaligned)
+        assert aligned.shape == values.shape
+
+    def test_subnormal_block_max_does_not_nan(self):
+        """Regression: a block max so small the shared-exponent scale
+        underflows to zero used to produce NaNs (found by hypothesis)."""
+        values = np.array([5e-324, 0.0])
+        quantised = bfp_quantize(values)
+        assert np.all(np.isfinite(quantised))
+        assert np.all(np.abs(quantised - values) <= 5e-324)
+
     def test_matrix_blocks_along_rows(self):
         matrix = np.zeros((2, 16))
         matrix[0, :] = 100.0
