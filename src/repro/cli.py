@@ -10,6 +10,7 @@ Commands mirror the paper's workflow:
 * ``table2 .. fig12``   — regenerate one table/figure.
 * ``isolation``         — Section 4.4's sharing-isolation result.
 * ``compile-overhead``  — Section 4.3's compile-cost accounting.
+* ``cluster-status``    — per-board occupancy, free histograms, fragmentation.
 * ``all``               — regenerate everything (what EXPERIMENTS.md records).
 """
 
@@ -60,6 +61,19 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--tasks", type=int, default=150)
             p.add_argument("--seeds", type=int, default=1,
                            help="seeds to average over")
+
+    p = sub.add_parser(
+        "cluster-status",
+        help="per-board occupancy, per-type free histograms, fragmentation",
+    )
+    p.add_argument(
+        "--deploy",
+        action="append",
+        default=[],
+        metavar="MODEL_KEY",
+        help="deploy this model before reporting (repeatable); infeasible "
+        "placements are reported, not fatal",
+    )
     return parser
 
 
@@ -153,6 +167,56 @@ def _cmd_disassemble(args, out) -> int:
     return 0
 
 
+def _cmd_cluster_status(args, out) -> int:
+    from .cluster import paper_cluster
+    from .runtime import Catalog, build_system
+    from .vital import VitalCompiler
+
+    cluster = paper_cluster()
+    system = build_system("proposed", cluster, Catalog(VitalCompiler()))
+    controller = system.controller
+    for key in args.deploy:
+        try:
+            controller.deploy(key)
+        except Exception as error:  # infeasible request: report, keep going
+            print(f"deploy {key}: {error}", file=out)
+
+    model_of = {
+        deployment.deployment_id: deployment.model_key
+        for deployment in controller.deployments.values()
+    }
+    print("board occupancy:", file=out)
+    for fpga_id in sorted(cluster.boards):
+        board = cluster.boards[fpga_id]
+        residents = sorted(
+            model_of.get(owner, owner) for owner in board.owners()
+        )
+        resident_text = ", ".join(residents) if residents else "-"
+        print(
+            f"  {fpga_id:10s} {board.model.name:9s} "
+            f"{board.used_blocks:2d}/{len(board.blocks):2d} blocks used  "
+            f"[{resident_text}]",
+            file=out,
+        )
+
+    print("\nfree-block histogram per device type:", file=out)
+    for device_type in controller.index.device_types():
+        free_counts = sorted(
+            board.free_blocks
+            for board in controller.index.boards_by_id(device_type)
+        )
+        total = sum(free_counts)
+        print(
+            f"  {device_type:9s} free={free_counts} (total {total})",
+            file=out,
+        )
+
+    print("\nfragmentation (1 - largest hole / total free):", file=out)
+    for device_type, value in sorted(controller.fragmentation().items()):
+        print(f"  {device_type:9s} {value:.3f}", file=out)
+    return 0
+
+
 def _run_experiment(name: str, args, out) -> int:
     from . import experiments
     from .experiments import (
@@ -202,6 +266,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_assemble(args, out)
     if command == "disassemble":
         return _cmd_disassemble(args, out)
+    if command == "cluster-status":
+        return _cmd_cluster_status(args, out)
     if command == "all":
         for name in ("table2", "table3", "table4", "fig11", "fig12",
                      "compile-overhead", "isolation"):

@@ -64,11 +64,19 @@ class RingNetwork:
     def transfer_time(
         self, src: str, dst: str, data_bytes: float, added_latency_s: float = 0.0
     ) -> float:
-        """One point-to-point transfer."""
-        if src == dst:
-            return 0.0
+        """One point-to-point transfer.
+
+        The zero-hop case (``src == dst``) models intra-board state
+        movement — a migration drain that lands back on the same board, a
+        loopback through the sync module: the data still streams through
+        one FIFO, so it is charged exactly one serialisation pass, but no
+        per-hop link latency and no Fig. 11 added latency (the counter
+        module sits on the ring links, which the transfer never enters).
+        """
         hops = self.hops(src, dst)
         serialisation = 8.0 * data_bytes / self.params.bandwidth_bps
+        if hops == 0:
+            return serialisation
         return hops * (self.params.hop_latency_s + serialisation) + added_latency_s
 
     def exchange_time(

@@ -131,6 +131,36 @@ class ClusterSimulator:
         self._resource_version = 0
         #: model key -> (version it failed under, earliest useful retry time).
         self._blocked: dict[str, tuple[int, float]] = {}
+        #: Scheduler-driven events in flight (live migrations): they hold
+        #: resources and will bump the version when they complete, so an
+        #: idle queue is not a deadlock while any are outstanding.
+        self._external_inflight = 0
+        bind = getattr(scheduler, "bind_simulator", None)
+        if bind is not None:
+            bind(self)
+
+    # -- scheduler-driven events (live migrations) -------------------------------
+
+    def schedule_external(self, delay_s: float, callback) -> None:
+        """Schedule a first-class non-task event ``callback(now)``.
+
+        The migration engine uses this to hold source and destination
+        blocks for the duration of a move: resources change at *begin*
+        (immediately, in the scheduler's own call) and again at *finish*
+        (this event), so migrations compete honestly with serving traffic.
+        Completion invalidates every watermark and re-dispatches.
+        """
+        if delay_s < 0:
+            raise SimulationError(f"negative external-event delay {delay_s}")
+        self._external_inflight += 1
+        self.queue.schedule_in(delay_s, self._external_fire, callback)
+
+    def _external_fire(self, callback) -> None:
+        self._external_inflight -= 1
+        callback(self.queue.now)
+        PROFILER.incr("simulator.external_events")
+        self._resource_version += 1
+        self._dispatch()
 
     # -- event handlers ----------------------------------------------------------
 
@@ -222,7 +252,7 @@ class ClusterSimulator:
         if self._pending and not self._retry_scheduled:
             # Time-gated policies (eviction staleness) need the clock to
             # advance before a blocked task can be placed; poll.
-            if self._running_count == 0:
+            if self._running_count == 0 and self._external_inflight == 0:
                 self._idle_retries += 1
                 if self._idle_retries > self.MAX_IDLE_RETRIES:
                     stuck = sorted({t.model_key for t in self._pending})

@@ -15,6 +15,23 @@ from ..errors import ProgramValidationError
 from .instructions import Instruction, Op, SYNC_ADDRESS, VECTOR_WRITERS
 
 
+@dataclass(frozen=True)
+class RegisterFootprint:
+    """Architectural registers a program actually touches.
+
+    The demand side of the checkpoint state-size model
+    (:mod:`repro.migration.checkpoint`): a snapshot only needs to carry the
+    registers the program can have written, not the full register files.
+    ``matrix_words`` is the total word count of every distinct matrix
+    register load (rows x cols per ``M_RD`` destination).
+    """
+
+    vector_registers: int
+    matrix_registers: int
+    max_vector_length: int
+    matrix_words: int
+
+
 @dataclass
 class ISALimits:
     """Architectural limits a program is validated against.
@@ -88,6 +105,37 @@ class Program:
             raise ProgramValidationError(f"{self.name}: unterminated LOOP")
         slices.append((0, len(self.instructions), 1))
         return slices
+
+    def register_footprint(self) -> RegisterFootprint:
+        """Registers and vector lengths this program can touch (static).
+
+        Walks every instruction once: vector destinations, matrix loads
+        (``M_RD`` carries rows in ``length`` and cols in ``imm``), vector
+        sources and operand lengths.  Loop trip counts do not matter — a
+        register written twice still occupies one architectural slot.
+        """
+        vector_regs: set[int] = set()
+        matrix_words: dict[int, int] = {}
+        max_length = 0
+        for inst in self.instructions:
+            if inst.op in (Op.LOOP, Op.ENDLOOP, Op.NOP, Op.HALT):
+                continue
+            max_length = max(max_length, inst.length)
+            if inst.op is Op.M_RD:
+                matrix_words[inst.dst] = max(
+                    matrix_words.get(inst.dst, 0), inst.length * int(inst.imm)
+                )
+                continue
+            if inst.op in VECTOR_WRITERS:
+                vector_regs.add(inst.dst)
+            for reg in inst.reads():
+                vector_regs.add(reg)
+        return RegisterFootprint(
+            vector_registers=len(vector_regs),
+            matrix_registers=len(matrix_words),
+            max_vector_length=max_length,
+            matrix_words=sum(matrix_words.values()),
+        )
 
     def dynamic_instruction_count(self) -> int:
         """Instruction issues including loop trip counts."""

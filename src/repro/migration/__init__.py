@@ -1,0 +1,52 @@
+"""Checkpoint/restore and live migration (the cloud-operations layer).
+
+The framework's application-specific ISA makes accelerator state
+*architectural*: everything a running NPU holds — vector/matrix register
+files, the program counter and loop stack, DRAM, undelivered
+synchronisation slices — is visible at an instruction boundary, with no
+microarchitectural residue.  A snapshot taken there can therefore be
+serialised, shipped over the ring network, and resumed on any board whose
+mapping database holds an image for the same program, *including boards of
+a different device type* (the catalog compiles every plan per type).
+
+Three layers build on that property:
+
+* :mod:`~repro.migration.checkpoint` — architectural snapshots with
+  serialize/deserialize and a config-derived state-size model;
+* :mod:`~repro.migration.engine`     — planning and executing moves of a
+  live deployment to other boards, charging drain + state transfer +
+  virtual-block reconfiguration;
+* :mod:`~repro.migration.defrag`     — a fragmentation metric and the
+  compaction policy the controller invokes when placement fails despite
+  sufficient aggregate free blocks.
+
+Everything here is off by default (``SystemController(migration_enabled=
+False)``); enabling it changes scheduling outcomes, so the Fig. 12 goldens
+only pin the disabled path.
+"""
+
+from .checkpoint import (
+    AcceleratorCheckpoint,
+    FabricCheckpoint,
+    architectural_state_bytes,
+    checkpoint_scaleout,
+    restore_scaleout,
+)
+from .defrag import DefragPlan, cluster_fragmentation, fragmentation, plan_defrag
+from .engine import MigrationEngine, MigrationParameters, MigrationPlan, ReplicaMove
+
+__all__ = [
+    "AcceleratorCheckpoint",
+    "DefragPlan",
+    "FabricCheckpoint",
+    "MigrationEngine",
+    "MigrationParameters",
+    "MigrationPlan",
+    "ReplicaMove",
+    "architectural_state_bytes",
+    "checkpoint_scaleout",
+    "cluster_fragmentation",
+    "fragmentation",
+    "plan_defrag",
+    "restore_scaleout",
+]

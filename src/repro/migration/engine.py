@@ -1,0 +1,265 @@
+"""Planning and executing live moves of resident deployments.
+
+A migration relocates one or more replicas of an idle deployment to other
+boards — same device type or not: the catalog compiled every deployment
+plan per feasible type, so a cross-type move is a lookup in the same
+mapping database, not a recompile.  The charged cost per replica is
+
+    drain                (run to an instruction boundary, flush queues)
+  + state transfer       (architectural state over ``RingNetwork``)
+  + reconfiguration      (destination virtual blocks x per-block time)
+
+and both source and destination blocks stay occupied between
+:meth:`MigrationEngine.begin` and :meth:`MigrationEngine.finish` — the
+DES schedules ``finish`` at ``begin + cost``, so a migration competes with
+serving traffic for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeploymentError, ReproError
+from ..perf.profiling import PROFILER
+from ..runtime.deployment import Deployment, DeploymentState, ReplicaPlacement
+from ..units import us
+from .checkpoint import architectural_state_bytes
+
+
+@dataclass(frozen=True)
+class MigrationParameters:
+    """Cost-model knobs.
+
+    ``drain_s`` is the time to let in-flight work reach an instruction
+    boundary and flush the send queues (tile-boundary granularity keeps it
+    short — the ISA has no long-running uninterruptible instruction).
+    """
+
+    drain_s: float = us(50.0)
+    added_latency_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReplicaMove:
+    """One replica relocating from one board to another."""
+
+    replica_index: int
+    src_fpga: str
+    dst_fpga: str
+    src_type: str
+    dst_type: str
+    src_blocks: int
+    dst_blocks: int
+    state_bytes: int
+    drain_s: float
+    transfer_s: float
+    reconfig_s: float
+
+    @property
+    def cost_s(self) -> float:
+        return self.drain_s + self.transfer_s + self.reconfig_s
+
+    @property
+    def cross_type(self) -> bool:
+        return self.src_type != self.dst_type
+
+
+@dataclass
+class MigrationPlan:
+    """Every move of one deployment, plus the charged total."""
+
+    deployment_id: str
+    model_key: str
+    moves: list = field(default_factory=list)
+
+    @property
+    def total_cost_s(self) -> float:
+        """Moves of one deployment execute sequentially (one drain, one
+        state stream through the sync module at a time)."""
+        return sum(move.cost_s for move in self.moves)
+
+    @property
+    def state_bytes(self) -> int:
+        return sum(move.state_bytes for move in self.moves)
+
+
+class MigrationEngine:
+    """Plans and executes deployment moves against one controller."""
+
+    def __init__(self, controller, params: MigrationParameters | None = None):
+        self.controller = controller
+        self.params = params or MigrationParameters()
+        self.migrations_planned = 0
+        self.migrations_completed = 0
+        self.bytes_migrated = 0
+
+    # -- cost model ----------------------------------------------------------
+
+    def state_bytes(self, deployment: Deployment, replica_index: int) -> int:
+        """Transferable state of one replica (config + program derived)."""
+        plan = deployment.plan
+        placement = deployment.placements[replica_index]
+        image = plan.image_for(placement.device_type)
+        program = plan.programs[min(replica_index, len(plan.programs) - 1)]
+        return architectural_state_bytes(image.instance, program)
+
+    def _transfer_time(self, src_fpga: str, dst_fpga: str, data_bytes: int) -> float:
+        network = self.controller.cluster.network
+        if network is None:
+            return 0.0
+        return network.transfer_time(
+            src_fpga, dst_fpga, data_bytes,
+            added_latency_s=self.params.added_latency_s,
+        )
+
+    # -- planning ------------------------------------------------------------
+
+    def plan_move(self, deployment: Deployment, targets: dict) -> MigrationPlan:
+        """Plan relocating ``targets``: ``{replica_index: destination board}``.
+
+        Raises :class:`DeploymentError` when the deployment is not idle, a
+        destination lacks an image for its device type, cannot host the
+        image, or already hosts another replica of the same deployment.
+        """
+        if deployment.state is not DeploymentState.IDLE:
+            raise DeploymentError(
+                f"cannot migrate {deployment.deployment_id}: state is "
+                f"{deployment.state.value}"
+            )
+        if not targets:
+            raise ReproError("migration plan needs at least one replica move")
+        # A destination may not coincide with ANY current placement (moved
+        # or not): blocks are owned per (board, deployment-id), so landing
+        # on a board the deployment already occupies would merge ownership
+        # and corrupt the source release.
+        occupied = {placement.fpga_id for placement in deployment.placements}
+        plan = MigrationPlan(
+            deployment_id=deployment.deployment_id,
+            model_key=deployment.model_key,
+        )
+        for replica_index in sorted(targets):
+            board = targets[replica_index]
+            try:
+                placement = deployment.placements[replica_index]
+            except IndexError:
+                raise ReproError(
+                    f"{deployment.deployment_id} has no replica "
+                    f"{replica_index}"
+                ) from None
+            if board.fpga_id == placement.fpga_id:
+                raise DeploymentError(
+                    f"replica {replica_index} already resides on "
+                    f"{board.fpga_id}"
+                )
+            if board.fpga_id in occupied:
+                raise DeploymentError(
+                    f"{board.fpga_id} already hosts a replica of "
+                    f"{deployment.deployment_id}"
+                )
+            dst_type = board.model.name
+            if dst_type not in deployment.plan.images:
+                raise DeploymentError(
+                    f"{deployment.model_key} x{deployment.plan.replicas} has "
+                    f"no image for {dst_type} (cannot remap to "
+                    f"{board.fpga_id})"
+                )
+            image = deployment.plan.images[dst_type]
+            if not board.can_host(image.virtual_blocks):
+                raise DeploymentError(
+                    f"{board.fpga_id} cannot host {image.virtual_blocks} "
+                    f"blocks ({board.free_blocks} free)"
+                )
+            state_bytes = self.state_bytes(deployment, replica_index)
+            plan.moves.append(
+                ReplicaMove(
+                    replica_index=replica_index,
+                    src_fpga=placement.fpga_id,
+                    dst_fpga=board.fpga_id,
+                    src_type=placement.device_type,
+                    dst_type=dst_type,
+                    src_blocks=placement.virtual_blocks,
+                    dst_blocks=image.virtual_blocks,
+                    state_bytes=state_bytes,
+                    drain_s=self.params.drain_s,
+                    transfer_s=self._transfer_time(
+                        placement.fpga_id, board.fpga_id, state_bytes
+                    ),
+                    reconfig_s=image.virtual_blocks
+                    * self.controller.reconfig_s_per_block,
+                )
+            )
+            occupied.add(board.fpga_id)
+        self.migrations_planned += 1
+        PROFILER.incr("migration.plans")
+        return plan
+
+    # -- execution -----------------------------------------------------------
+
+    def begin(self, plan: MigrationPlan, now: float = 0.0) -> float:
+        """Start executing ``plan``: configure destination blocks and take
+        the deployment out of service.  Source *and* destination blocks are
+        occupied until :meth:`finish`; returns the plan's total cost so the
+        caller can schedule that call."""
+        controller = self.controller
+        deployment = controller.deployments.get(plan.deployment_id)
+        if deployment is None:
+            raise DeploymentError(
+                f"deployment {plan.deployment_id} no longer exists"
+            )
+        if deployment.state is not DeploymentState.IDLE:
+            raise DeploymentError(
+                f"cannot migrate {plan.deployment_id}: state is "
+                f"{deployment.state.value}"
+            )
+        deployment.state = DeploymentState.MIGRATING
+        for move in plan.moves:
+            board = controller.cluster.board(move.dst_fpga)
+            image = deployment.plan.images[move.dst_type]
+            controller.low_level.configure(
+                board, deployment.deployment_id, image.artifact
+            )
+        PROFILER.incr("migration.begun")
+        return plan.total_cost_s
+
+    def finish(self, plan: MigrationPlan, now: float = 0.0) -> None:
+        """Complete ``plan``: release source blocks, repoint placements,
+        re-estimate service time for the (possibly new) device-type mix."""
+        controller = self.controller
+        deployment = controller.deployments.get(plan.deployment_id)
+        if deployment is None:
+            raise DeploymentError(
+                f"deployment {plan.deployment_id} no longer exists"
+            )
+        if deployment.state is not DeploymentState.MIGRATING:
+            raise DeploymentError(
+                f"finish on {plan.deployment_id} in state "
+                f"{deployment.state.value}"
+            )
+        for move in plan.moves:
+            src = controller.cluster.board(move.src_fpga)
+            controller.low_level.release(src, deployment.deployment_id)
+            dst = controller.cluster.board(move.dst_fpga)
+            image = deployment.plan.images[move.dst_type]
+            deployment.placements[move.replica_index] = ReplicaPlacement(
+                fpga_id=move.dst_fpga,
+                device_type=move.dst_type,
+                virtual_blocks=image.virtual_blocks,
+                block_indices=list(dst.owned_indices(deployment.deployment_id)),
+            )
+            self.bytes_migrated += move.state_bytes
+        deployment.service_s = controller._service_time(
+            deployment.plan, deployment.placements
+        )
+        deployment.state = DeploymentState.IDLE
+        deployment.last_used_s = now
+        deployment.migrations += 1
+        self.migrations_completed += 1
+        PROFILER.incr("migration.completed")
+        PROFILER.incr("migration.bytes", plan.state_bytes)
+
+    def migrate(self, deployment: Deployment, targets: dict, now: float = 0.0) -> MigrationPlan:
+        """Plan and synchronously execute one move (no DES in the loop)."""
+        plan = self.plan_move(deployment, targets)
+        self.begin(plan, now)
+        self.finish(plan, now)
+        return plan

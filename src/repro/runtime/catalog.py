@@ -160,6 +160,27 @@ class Catalog:
         self._entries[spec.key] = entry
         return entry
 
+    def entry_by_key(self, model_key: str) -> CatalogEntry:
+        """The catalog entry for a model key (built on first request).
+
+        The migration/defrag layer resolves cross-type remaps through
+        this: every plan's ``images`` dict is the per-type mapping
+        database, so moving a replica to another device type is a lookup,
+        not a recompile.
+        """
+        from ..workloads.deepbench import model_by_key
+
+        return self.entry(model_by_key(model_key))
+
+    def compatible_types(self, model_key: str) -> list:
+        """Device types holding an image for any plan of ``model_key``
+        (the set a live deployment can migrate across)."""
+        entry = self.entry_by_key(model_key)
+        types: set[str] = set()
+        for plan in entry.plans:
+            types.update(plan.images)
+        return sorted(types)
+
     def instance_count(self) -> int:
         """Distinct accelerator instances generated so far (the paper's
         "10 different accelerator instances" inventory)."""

@@ -81,6 +81,10 @@ class ControllerStats:
     placement_searches: int = 0
     #: Placement attempts answered by the capacity fast-reject alone.
     fast_rejects: int = 0
+    #: Defragmentation plans issued (migration subsystem enabled only).
+    defrag_plans: int = 0
+    #: Live migrations completed.
+    migrations_completed: int = 0
 
 
 class PlacementIndex:
@@ -175,6 +179,8 @@ class SystemController:
         timing: TimingParameters = DEFAULT_TIMING,
         reconfig_s_per_block: float = ms(4.0),
         eviction_patience_s: float = ms(25.0),
+        migration_enabled: bool = False,
+        migration_params=None,
     ):
         self.cluster = cluster
         self.catalog = catalog
@@ -186,6 +192,11 @@ class SystemController:
         self.timing = timing
         self.reconfig_s_per_block = reconfig_s_per_block
         self.eviction_patience_s = eviction_patience_s
+        #: Checkpoint/restore + defrag layer; OFF by default so existing
+        #: schedules (and the Fig. 12 goldens) are untouched.
+        self.migration_enabled = migration_enabled
+        self._migration_params = migration_params
+        self._migration_engine = None
         self.deployments: dict[str, Deployment] = {}
         self.index = PlacementIndex(cluster)
         self.stats = ControllerStats()
@@ -255,9 +266,10 @@ class SystemController:
 
     def evict(self, deployment: Deployment) -> None:
         """Tear a deployment down and free its blocks."""
-        if deployment.state is DeploymentState.BUSY:
+        if deployment.state is not DeploymentState.IDLE:
             raise AllocationError(
-                f"cannot evict busy deployment {deployment.deployment_id}"
+                f"cannot evict {deployment.state.value} deployment "
+                f"{deployment.deployment_id}"
             )
         for placement in deployment.placements:
             board = self.cluster.board(placement.fpga_id)
@@ -272,6 +284,57 @@ class SystemController:
             if not siblings:
                 del self._by_model[deployment.model_key]
         self.stats.deployments_evicted += 1
+
+    # -- migration / defragmentation ---------------------------------------------------
+
+    @property
+    def migration(self):
+        """The migration engine (created on first use; import is lazy to
+        keep :mod:`repro.migration` optional on the placement hot path)."""
+        if self._migration_engine is None:
+            from ..migration.engine import MigrationEngine
+
+            self._migration_engine = MigrationEngine(
+                self, self._migration_params
+            )
+        return self._migration_engine
+
+    def fragmentation(self) -> dict:
+        """Per-device-type external fragmentation (see
+        :func:`repro.migration.defrag.cluster_fragmentation`)."""
+        from ..migration.defrag import cluster_fragmentation
+
+        return cluster_fragmentation(self.index)
+
+    def plan_defrag(self, model_key: str):
+        """The cheapest migration set that would let ``model_key`` place,
+        or ``None`` — only when the subsystem is enabled and the failure
+        is fragmentation rather than capacity."""
+        if not self.migration_enabled:
+            return None
+        from ..migration.defrag import plan_defrag
+
+        plan = plan_defrag(self, model_key, self.migration)
+        if plan is not None:
+            self.stats.defrag_plans += 1
+            PROFILER.incr("controller.defrag_plans")
+        return plan
+
+    def begin_defrag(self, defrag_plan, now: float) -> float:
+        """Start every migration in ``defrag_plan``; source and
+        destination blocks stay occupied until :meth:`finish_defrag`.
+        Returns the total charged cost (the caller schedules the finish
+        that far in the future)."""
+        total = 0.0
+        for migration_plan in defrag_plan.migrations:
+            total += self.migration.begin(migration_plan, now)
+        return total
+
+    def finish_defrag(self, defrag_plan, now: float) -> None:
+        """Complete every migration in ``defrag_plan``."""
+        for migration_plan in defrag_plan.migrations:
+            self.migration.finish(migration_plan, now)
+            self.stats.migrations_completed += 1
 
     # -- placement search --------------------------------------------------------------
 

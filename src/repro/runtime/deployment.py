@@ -19,6 +19,10 @@ from .catalog import DeploymentPlan
 class DeploymentState(enum.Enum):
     IDLE = "idle"
     BUSY = "busy"
+    #: Being moved to other boards: source and destination blocks are both
+    #: occupied, and the deployment can neither serve nor be evicted until
+    #: the move completes (:mod:`repro.migration.engine`).
+    MIGRATING = "migrating"
 
 
 @dataclass
@@ -45,6 +49,8 @@ class Deployment:
     #: Last time this deployment finished a task (LRU eviction key).
     last_used_s: float = 0.0
     tasks_served: int = 0
+    #: Completed live migrations (defrag moves included).
+    migrations: int = 0
 
     @property
     def member_fpgas(self) -> list:

@@ -38,7 +38,8 @@ class ProposedSystem:
     name = "proposed"
 
     def __init__(self, cluster: FPGACluster, catalog: Catalog,
-                 timing: TimingParameters = DEFAULT_TIMING):
+                 timing: TimingParameters = DEFAULT_TIMING,
+                 defrag: bool = False, migration_params=None):
         self.cluster = cluster
         self.controller = SystemController(
             cluster,
@@ -46,8 +47,15 @@ class ProposedSystem:
             LowLevelController(catalog.compiler.store),
             same_type_only=self._same_type_only(),
             timing=timing,
+            migration_enabled=defrag,
+            migration_params=migration_params,
         )
         self._running: dict[int, object] = {}
+        #: Set when a :class:`~repro.cluster.simulator.ClusterSimulator`
+        #: adopts this scheduler; migrations become first-class DES events.
+        self._simulator = None
+        #: model key -> in-flight defrag (avoid planning duplicates).
+        self._defrag_pending: set[str] = set()
 
     @staticmethod
     def _same_type_only() -> bool:
@@ -58,6 +66,10 @@ class ProposedSystem:
     #: Queue depth that justifies growing an already-deployed model by
     #: evicting someone else's stale idle copy.
     EXPANSION_PRESSURE = 4
+
+    def bind_simulator(self, simulator) -> None:
+        """Adopt the driving DES (gives defrag a clock to schedule on)."""
+        self._simulator = simulator
 
     def has_fast_path(self, task: Task) -> bool:
         return self.controller.find_idle_deployment(task.model_key) is not None
@@ -90,6 +102,11 @@ class ProposedSystem:
             # dispatch loop happened to retry a blocked task.
             self._seen_tasks.add(task.task_id)
             seen[task.model_key] = seen.get(task.model_key, 0) + 1
+        if task.model_key in self._defrag_pending:
+            # A compaction for this model is in flight; until it completes
+            # the controller provably cannot place it, so don't charge a
+            # placement failure for re-asking.
+            return None
         deployment = self.controller.find_idle_deployment(task.model_key)
         reconfig = 0.0
         if deployment is None:
@@ -117,6 +134,7 @@ class ProposedSystem:
                     allow_mixed=allow_mixed,
                 )
             except AllocationError:
+                self._maybe_defrag(task.model_key, now)
                 return None
         else:
             self.controller.stats.reuse_hits += 1
@@ -127,6 +145,32 @@ class ProposedSystem:
     def on_finish(self, task: Task, now: float) -> None:
         deployment = self._running.pop(task.task_id)
         self.controller.release(deployment, now)
+
+    # -- defragmentation (migration subsystem; off unless ``defrag=True``) ---------
+
+    def _maybe_defrag(self, model_key: str, now: float) -> bool:
+        """After a placement failure, start the cheapest compaction that
+        would open a hole for ``model_key`` — as a timed DES event when a
+        simulator drives us, synchronously otherwise.  Returns whether a
+        defrag was started."""
+        controller = self.controller
+        if not controller.migration_enabled or model_key in self._defrag_pending:
+            return False
+        plan = controller.plan_defrag(model_key)
+        if plan is None:
+            return False
+        cost = controller.begin_defrag(plan, now)
+        if self._simulator is None:
+            controller.finish_defrag(plan, now)
+            return True
+        self._defrag_pending.add(model_key)
+
+        def complete(finish_now: float, plan=plan, key=model_key) -> None:
+            controller.finish_defrag(plan, finish_now)
+            self._defrag_pending.discard(key)
+
+        self._simulator.schedule_external(cost, complete)
+        return True
 
     def retry_hint(self, task: Task, now: float) -> float:
         """Earliest time a declined task could start absent releases.
@@ -140,6 +184,10 @@ class ProposedSystem:
         harmless extra attempt, never a missed one.
         """
         controller = self.controller
+        if task.model_key in self._defrag_pending:
+            # A compaction is in flight for this model; its completion is
+            # an external event that bumps the resource version itself.
+            return math.inf
         patience = controller.eviction_patience_s
         if controller.deployment_count(task.model_key) > 0:
             view = getattr(self, "_queue_view", {})
@@ -361,14 +409,21 @@ def build_system(
     cluster: FPGACluster,
     catalog: Catalog | None = None,
     timing: TimingParameters = DEFAULT_TIMING,
+    defrag: bool = False,
 ):
-    """Factory over the three evaluated systems."""
+    """Factory over the three evaluated systems.
+
+    ``defrag=True`` arms the checkpoint/restore + migration subsystem on
+    the framework systems (the baseline has no virtualization layer to
+    migrate through); the default keeps schedules bit-identical to the
+    pre-migration implementation.
+    """
     if name == "baseline":
         return BaselineSystem(cluster, timing)
     if catalog is None:
         raise ReproError(f"system {name!r} needs a catalog")
     if name == "proposed":
-        return ProposedSystem(cluster, catalog, timing)
+        return ProposedSystem(cluster, catalog, timing, defrag=defrag)
     if name == "restricted":
-        return RestrictedSystem(cluster, catalog, timing)
+        return RestrictedSystem(cluster, catalog, timing, defrag=defrag)
     raise ReproError(f"unknown system {name!r}")

@@ -68,6 +68,14 @@ class PhysicalFPGA:
     def can_host(self, block_count: int) -> bool:
         return 0 < block_count <= self._free_count
 
+    def owned_indices(self, owner: str) -> list:
+        """Block indices held by ``owner`` on this board (empty when none).
+
+        Migration repoints placement records to the destination board's
+        freshly configured blocks through this accessor.
+        """
+        return list(self._owned.get(owner, ()))
+
     def recount_free_blocks(self) -> int:
         """From-scratch recount over the occupancy records.
 

@@ -13,6 +13,7 @@ import pytest
 from repro.cluster.topology import paper_cluster
 from repro.errors import AllocationError
 from repro.runtime import Catalog, build_system
+from repro.runtime.deployment import DeploymentState
 from repro.vital import VitalCompiler
 from repro.vital.device import XCVU37P
 from repro.vital.virtual_block import PhysicalFPGA
@@ -130,6 +131,111 @@ class TestControllerIndexInvariants:
                 )
             for key in model_keys:
                 assert controller.deployment_count(key) == by_model.get(key, 0)
+
+    def test_deploy_evict_storm_full_recount(self):
+        """A denser storm than the mixed walk above: bursts of deploys up
+        to allocation failure, then bursts of evictions, with a *complete*
+        from-scratch recount of every cached structure after each burst."""
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, Catalog(VitalCompiler()))
+        controller = system.controller
+        rng = random.Random(1234)
+        model_keys = sorted(
+            {spec.key for specs in MODEL_POOL.values() for spec in specs}
+        )
+        live = []
+        now = 0.0
+        for _burst in range(25):
+            # Deploy burst: hammer until a random number of failures.
+            failures_allowed = rng.randint(1, 3)
+            while failures_allowed:
+                now += 0.001
+                try:
+                    deployment, _ = controller.deploy(
+                        rng.choice(model_keys), now=now
+                    )
+                except AllocationError:
+                    failures_allowed -= 1
+                else:
+                    live.append(deployment)
+            # Evict burst: drop a random fraction of what is resident.
+            for _ in range(rng.randint(1, max(1, len(live) // 2))):
+                if not live:
+                    break
+                controller.evict(live.pop(rng.randrange(len(live))))
+            # Full recount of every incrementally-maintained structure.
+            for board in cluster.boards.values():
+                _assert_board_consistent(board)
+            assert controller.index.check_consistent()
+            used = sum(b.used_blocks for b in cluster.boards.values())
+            accounted = sum(
+                p.virtual_blocks
+                for d in controller.deployments.values()
+                for p in d.placements
+            )
+            assert used == accounted
+            for key in model_keys:
+                expected = sum(
+                    1
+                    for d in controller.deployments.values()
+                    if d.model_key == key
+                )
+                assert controller.deployment_count(key) == expected
+        assert live, "storm should leave residents behind"
+
+    def test_migration_storm_keeps_indexes_consistent(self):
+        """Random live migrations interleaved with deploys/evicts: the
+        placement index and block ownership must survive moves too."""
+        cluster = paper_cluster()
+        catalog = Catalog(VitalCompiler())
+        system = build_system("proposed", cluster, catalog, defrag=True)
+        controller = system.controller
+        engine = controller.migration
+        rng = random.Random(99)
+        keys = ["gru-h512-t1", "lstm-h256-t150", "lstm-h512-t25"]
+        live = []
+        now = 0.0
+        migrated = 0
+        for _ in range(200):
+            now += 0.01
+            action = rng.random()
+            if action < 0.4:
+                try:
+                    deployment, _ = controller.deploy(rng.choice(keys), now=now)
+                except AllocationError:
+                    pass
+                else:
+                    live.append(deployment)
+            elif action < 0.6 and live:
+                controller.evict(live.pop(rng.randrange(len(live))))
+            elif live:
+                deployment = rng.choice(live)
+                replica = rng.randrange(len(deployment.placements))
+                candidates = [
+                    board
+                    for board in cluster.boards.values()
+                    if board.model.name in deployment.plan.images
+                    and board.fpga_id
+                    not in {p.fpga_id for p in deployment.placements}
+                    and board.free_blocks
+                    >= deployment.plan.images[board.model.name].virtual_blocks
+                ]
+                if candidates:
+                    engine.migrate(
+                        deployment, {replica: rng.choice(candidates)}, now=now
+                    )
+                    migrated += 1
+            for board in cluster.boards.values():
+                _assert_board_consistent(board)
+            assert controller.index.check_consistent()
+            for deployment in controller.deployments.values():
+                assert deployment.state is not DeploymentState.MIGRATING
+                for placement in deployment.placements:
+                    board = cluster.board(placement.fpga_id)
+                    owned = board.owned_indices(deployment.deployment_id)
+                    assert owned == placement.block_indices
+                    assert len(owned) == placement.virtual_blocks
+        assert migrated > 20, "storm should have exercised migration"
 
     def test_index_tracks_direct_board_allocation(self, deployed_controller):
         """Tests (and tools) allocate on boards directly; the placement

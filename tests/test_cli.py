@@ -75,3 +75,26 @@ class TestExperimentCommands:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestClusterStatus:
+    def test_empty_cluster(self):
+        text = _run("cluster-status")
+        assert "board occupancy:" in text
+        assert "0/16 blocks used" in text
+        assert "free-block histogram" in text
+        assert "fragmentation" in text
+
+    def test_deployed_models_listed(self):
+        text = _run(
+            "cluster-status", "--deploy", "gru-h512-t1",
+            "--deploy", "lstm-h256-t150",
+        )
+        assert "gru-h512-t1" in text
+        assert "lstm-h256-t150" in text
+        assert "XCVU37P" in text and "XCKU115" in text
+
+    def test_infeasible_deploy_reported_not_fatal(self):
+        text = _run("cluster-status", "--deploy", "no-such-model")
+        assert "deploy no-such-model:" in text
+        assert "fragmentation" in text

@@ -92,8 +92,28 @@ class TestRingNetwork:
         assert self._ring(4).diameter() == 2
         assert self._ring(5).diameter() == 2
 
-    def test_transfer_time_zero_same_node(self):
-        assert self._ring().transfer_time("n0", "n0", 1000) == 0.0
+    def test_transfer_time_same_node_serialisation_only(self):
+        """Loopback transfers pay one serialisation pass, no link costs.
+
+        A zero-byte loopback is genuinely free, a non-trivial one costs
+        exactly the FIFO streaming time: no per-hop latency and no Fig. 11
+        added latency, because the counter module sits on ring links the
+        transfer never enters.
+        """
+        ring = self._ring()
+        assert ring.transfer_time("n0", "n0", 0) == 0.0
+        expected = 8.0 * 1000 / ring.params.bandwidth_bps
+        assert ring.transfer_time("n0", "n0", 1000) == pytest.approx(expected)
+        # The added-latency knob must not leak into the loopback path.
+        with_knob = ring.transfer_time("n0", "n0", 1000, added_latency_s=us(5.0))
+        assert with_knob == pytest.approx(expected)
+        # Strictly cheaper than the equivalent one-hop transfer.
+        assert with_knob < ring.transfer_time("n0", "n1", 1000)
+
+    def test_transfer_time_same_node_validates_nodes(self):
+        """src == dst must not bypass node-membership validation."""
+        with pytest.raises(SimulationError):
+            self._ring().transfer_time("ghost", "ghost", 1000)
 
     def test_transfer_time_scales_with_bytes_and_hops(self):
         ring = self._ring(4)

@@ -196,6 +196,46 @@ class TestFig12:
         assert "average speedup vs baseline" in text
 
 
+class TestBenchDefrag:
+    @pytest.fixture(scope="class")
+    def bench(self, tmp_path_factory):
+        from repro.experiments.bench_defrag import SMOKE_SMALL_TASKS, run_bench
+
+        output = tmp_path_factory.mktemp("bench") / "BENCH_defrag.json"
+        return run_bench(small_tasks=SMOKE_SMALL_TASKS, output=output), output
+
+    @pytest.fixture(scope="class")
+    def report(self, bench):
+        return bench[0]
+
+    def test_both_configs_complete_the_stream(self, report):
+        total = report["workload"]["total_tasks"]
+        assert report["defrag_off"]["completed"] == total
+        assert report["defrag_on"]["completed"] == total
+
+    def test_defrag_reduces_placement_failure_rate(self, report):
+        """The subsystem's acceptance property on the fragmented workload."""
+        off = report["defrag_off"]["placement_failure_rate"]
+        on = report["defrag_on"]["placement_failure_rate"]
+        assert on < off
+        assert report["comparison"]["failure_rate_reduction"] > 0
+
+    def test_migration_cost_visible_in_counters(self, report):
+        on = report["defrag_on"]
+        assert on["defrag_plans"] >= 1
+        assert on["migrations_completed"] >= 1
+        counters = on["migration_counters"]
+        assert counters.get("migration.completed", 0) >= 1
+        assert counters.get("migration.bytes", 0) > 0
+        assert report["defrag_off"]["migrations_completed"] == 0
+
+    def test_report_written_as_json(self, bench):
+        import json
+
+        report, path = bench
+        assert json.loads(path.read_text()) == report
+
+
 class TestCompileOverhead:
     @pytest.fixture(scope="class")
     def result(self):
