@@ -10,6 +10,7 @@ Commands mirror the paper's workflow:
 * ``table2 .. fig12``   — regenerate one table/figure.
 * ``isolation``         — Section 4.4's sharing-isolation result.
 * ``compile-overhead``  — Section 4.3's compile-cost accounting.
+* ``inject-faults``     — seeded board-failure run with automatic recovery.
 * ``cluster-status``    — per-board occupancy, free histograms, fragmentation.
 * ``all``               — regenerate everything (what EXPERIMENTS.md records).
 """
@@ -61,6 +62,24 @@ def _build_parser() -> argparse.ArgumentParser:
             p.add_argument("--tasks", type=int, default=150)
             p.add_argument("--seeds", type=int, default=1,
                            help="seeds to average over")
+
+    p = sub.add_parser(
+        "inject-faults",
+        help="run the serving stream under seeded board failures with "
+        "automatic checkpoint-based recovery",
+    )
+    p.add_argument("--mtbf", type=float, default=1.0,
+                   help="per-board mean time between failures, seconds "
+                   "(default 1.0)")
+    p.add_argument("--mttr", type=float, default=0.08,
+                   help="mean time to repair, seconds (default 0.08)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-timeline seed (default 7)")
+    p.add_argument("--tasks", type=int, default=120,
+                   help="tasks in the serving stream (default 120)")
+    p.add_argument("--degraded-fraction", type=float, default=0.0,
+                   help="fraction of faults that drain instead of failing "
+                   "hard (default 0)")
 
     p = sub.add_parser(
         "cluster-status",
@@ -217,6 +236,46 @@ def _cmd_cluster_status(args, out) -> int:
     return 0
 
 
+def _cmd_inject_faults(args, out) -> int:
+    from .experiments.bench_faults import _build_tasks, run_point
+
+    tasks = _build_tasks(args.tasks)
+    point = run_point(
+        tasks,
+        mtbf_s=args.mtbf,
+        mttr_s=args.mttr,
+        seed=args.seed,
+        degraded_fraction=args.degraded_fraction,
+    )
+    print(
+        f"stream: {point['completed']} tasks completed in "
+        f"{point['makespan_s'] * 1e3:.1f} ms simulated "
+        f"({point['throughput_tasks_per_s']:.1f} tasks/s)",
+        file=out,
+    )
+    print(
+        f"faults: {point['boards_failed']} board failures, "
+        f"{point['boards_repaired']} repairs "
+        f"(mtbf {args.mtbf:g}s, mttr {args.mttr:g}s, seed {args.seed})",
+        file=out,
+    )
+    print(
+        f"recovery: {point['deployments_failed']} deployments lost, "
+        f"{point['recoveries']} recovered "
+        f"({point['scale_down_recoveries']} scaled down, "
+        f"{point['recovery_retries']} retries, "
+        f"{point['recovery_failures']} abandoned)",
+        file=out,
+    )
+    print(
+        f"cost: {point['lost_work_s'] * 1e3:.2f} ms work lost, "
+        f"availability {point['availability']:.3f}, "
+        f"p99 latency {point['p99_latency_s'] * 1e3:.2f} ms",
+        file=out,
+    )
+    return 0
+
+
 def _run_experiment(name: str, args, out) -> int:
     from . import experiments
     from .experiments import (
@@ -268,6 +327,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_disassemble(args, out)
     if command == "cluster-status":
         return _cmd_cluster_status(args, out)
+    if command == "inject-faults":
+        return _cmd_inject_faults(args, out)
     if command == "all":
         for name in ("table2", "table3", "table4", "fig11", "fig12",
                      "compile-overhead", "isolation"):

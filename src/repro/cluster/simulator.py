@@ -65,19 +65,17 @@ class Scheduler(Protocol):
     def on_finish(self, task: Task, now: float) -> None:
         """Release whatever ``try_start`` reserved."""
 
-    def has_fast_path(self, task: Task) -> bool:  # pragma: no cover - optional
+    def has_fast_path(self, task: Task) -> bool:
         """Optional: True when ``task`` can start without reconfiguration
         (an idle deployment of its model is resident).  The simulator serves
         fast-path tasks first to preserve locality."""
-        ...
 
-    def retry_hint(self, task: Task, now: float) -> float:  # pragma: no cover - optional
+    def retry_hint(self, task: Task, now: float) -> float:
         """Optional: after ``try_start`` declined ``task``, the earliest
         future time a retry could succeed *without* any resource release in
         between (``math.inf`` when only a release can help).  Hints must be
         conservative (never later than the true unblock time); the simulator
         uses them to skip provably fruitless attempts."""
-        ...
 
 
 @dataclass

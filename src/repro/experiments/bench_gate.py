@@ -1,0 +1,101 @@
+"""CI bench regression gate: compare a fresh smoke ``BENCH_fig12.json``
+against the committed baseline and fail on real slowdowns.
+
+Wall-clock is the gating metric: more than ``--tolerance`` (default 25%)
+over the baseline fails the build — generous enough to absorb shared-runner
+noise, tight enough to catch an accidentally re-quadratic allocator.  The
+deterministic work counters (placement attempts, DES events) are compared
+exactly but only *warn* on drift: a drift there is intentional behaviour
+change territory, and the golden tests — not this gate — decide whether it
+is correct.  Refresh the baseline when a PR legitimately changes the
+counters or the smoke workload::
+
+    PYTHONPATH=src python -m repro.experiments.bench_fig12 --smoke \
+        --output benchmarks/baselines/BENCH_fig12_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_fig12_smoke.json"
+DEFAULT_TOLERANCE = 0.25
+
+#: Deterministic work counters (exact comparison, warnings only).
+COUNTER_KEYS = (
+    "find_placement_calls",
+    "deploy_calls",
+    "fast_rejects",
+    "try_start_attempts",
+    "watermark_skips",
+)
+
+
+def compare(current: dict, baseline: dict, tolerance: float) -> tuple:
+    """Returns ``(failures, warnings)`` message lists."""
+    failures: list = []
+    warnings: list = []
+    if current["scale"] != baseline["scale"]:
+        failures.append(
+            f"scale mismatch: current {current['scale']} vs baseline "
+            f"{baseline['scale']} — comparing different workloads"
+        )
+        return failures, warnings
+    base_wall = baseline["wall_s"]["after"]
+    cur_wall = current["wall_s"]["after"]
+    ratio = cur_wall / base_wall if base_wall else float("inf")
+    if ratio > 1.0 + tolerance:
+        failures.append(
+            f"wall-clock regression: {cur_wall:.2f}s vs baseline "
+            f"{base_wall:.2f}s ({ratio:.2f}x, tolerance "
+            f"{1.0 + tolerance:.2f}x)"
+        )
+    else:
+        warnings.append(
+            f"wall-clock: {cur_wall:.2f}s vs baseline {base_wall:.2f}s "
+            f"({ratio:.2f}x) — within tolerance"
+        )
+    for key in COUNTER_KEYS:
+        cur = current["placement"].get(key)
+        base = baseline["placement"].get(key)
+        if cur != base:
+            warnings.append(
+                f"counter drift: placement.{key} {base} -> {cur} "
+                f"(behaviour change — the golden tests arbitrate)"
+            )
+    if current.get("events") != baseline.get("events"):
+        warnings.append(
+            f"counter drift: simulator events "
+            f"{baseline.get('events')} -> {current.get('events')}"
+        )
+    return failures, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default="BENCH_fig12.json",
+                        help="freshly produced smoke report")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="committed reference report")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional wall-clock slowdown "
+                        "(default 0.25)")
+    args = parser.parse_args(argv)
+    current = json.loads(pathlib.Path(args.current).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures, warnings = compare(current, baseline, args.tolerance)
+    for message in warnings:
+        print(f"[warn] {message}")
+    for message in failures:
+        print(f"[FAIL] {message}")
+    if failures:
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI driver
+    sys.exit(main())

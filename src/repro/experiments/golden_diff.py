@@ -1,0 +1,74 @@
+"""Human-readable diff of the Fig. 12 output against its golden snapshot.
+
+When ``test_fig12_golden.py`` fails, the pytest assertion shows two large
+repr dicts — hard to eyeball.  CI runs this tool on failure and uploads
+the result as an artifact: one line per drifted (composition, system)
+cell with golden value, actual value and relative delta, so the reviewer
+sees at a glance whether a change nudged one system's throughput by a few
+ulps or rewrote the whole schedule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+GOLDEN_SMALL = pathlib.Path(__file__).parents[3] / "tests" / "golden" / "fig12_small.json"
+
+
+def diff_lines(golden: dict) -> list:
+    """Re-run the experiment at the golden's scale; describe every drift."""
+    from .fig12 import average_speedups, run_fig12
+
+    rows = run_fig12(
+        task_count=golden["task_count"], seeds=tuple(golden["seeds"])
+    )
+    lines: list = []
+    for row, expected in zip(rows, golden["rows"]):
+        for system, expected_repr in sorted(expected["throughput"].items()):
+            actual = row.throughput.get(system)
+            actual_repr = repr(actual)
+            if actual_repr == expected_repr:
+                continue
+            try:
+                rel = actual / float(expected_repr) - 1.0
+                delta = f"{rel:+.3e}"
+            except (TypeError, ValueError, ZeroDivisionError):
+                delta = "n/a"
+            lines.append(
+                f"set {expected['index']} {system}: golden {expected_repr} "
+                f"actual {actual_repr} (rel {delta})"
+            )
+    actual_speedups = [repr(v) for v in average_speedups(rows)]
+    if actual_speedups != golden["avg_speedups"]:
+        lines.append(
+            f"avg speedups: golden {golden['avg_speedups']} "
+            f"actual {actual_speedups}"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--golden", default=str(GOLDEN_SMALL),
+                        help="golden snapshot to diff against")
+    parser.add_argument("--output", default="fig12_golden_diff.txt",
+                        help="where to write the diff report")
+    args = parser.parse_args(argv)
+    golden = json.loads(pathlib.Path(args.golden).read_text())
+    lines = diff_lines(golden)
+    body = (
+        "\n".join(lines) + "\n"
+        if lines
+        else "no drift: output matches the golden snapshot\n"
+    )
+    pathlib.Path(args.output).write_text(body)
+    print(body, end="")
+    print(f"diff written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CI driver
+    sys.exit(main())

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..runtime.deployment import DeploymentState
-from .engine import MigrationEngine, MigrationPlan
+from .engine import MigrationEngine
 
 
 def fragmentation(index, device_type: str) -> float:

@@ -256,6 +256,10 @@ class MigrationEngine:
         self.migrations_completed += 1
         PROFILER.incr("migration.completed")
         PROFILER.incr("migration.bytes", plan.state_bytes)
+        # A board under this deployment failed mid-move: the deferred
+        # recovery runs now that the migration's block ownership is settled.
+        if deployment.pending_recovery and controller.recovery_enabled:
+            controller.recovery.recover(deployment, now)
 
     def migrate(self, deployment: Deployment, targets: dict, now: float = 0.0) -> MigrationPlan:
         """Plan and synchronously execute one move (no DES in the loop)."""

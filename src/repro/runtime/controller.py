@@ -41,6 +41,7 @@ from ..perf.overlap import scaleout_latency
 from ..perf.profiling import PROFILER
 from ..units import ms
 from ..vital.bitstream import LowLevelController
+from ..vital.virtual_block import BoardHealth
 from ..workloads.deepbench import model_by_key
 from .catalog import Catalog, DeploymentPlan
 from .deployment import Deployment, DeploymentState, ReplicaPlacement
@@ -85,6 +86,25 @@ class ControllerStats:
     defrag_plans: int = 0
     #: Live migrations completed.
     migrations_completed: int = 0
+    #: Board failures observed (fault subsystem).
+    boards_failed: int = 0
+    #: Boards put into drain mode (DEGRADED).
+    boards_degraded: int = 0
+    #: Boards returned to service.
+    boards_repaired: int = 0
+    #: Deployments lost to board failures.
+    deployments_failed: int = 0
+    #: Deployments successfully rebuilt after a failure.
+    recoveries: int = 0
+    #: Recoveries that had to re-plan at a different width (the paper's
+    #: scale-down optimisation as a failure fallback).
+    scale_down_recoveries: int = 0
+    #: Backoff redeploy retries scheduled by the recovery manager.
+    recovery_retries: int = 0
+    #: Deployments abandoned after exhausting recovery retries.
+    recovery_failures: int = 0
+    #: Simulated work lost to failures (time since last checkpoint).
+    lost_work_s: float = 0.0
 
 
 class PlacementIndex:
@@ -96,6 +116,12 @@ class PlacementIndex:
     callers allocate on boards directly (tests do).  Queries — best-fit
     candidate order, max free capacity, count of boards above a threshold —
     are O(log n) probes plus the slice actually consumed.
+
+    Board health is surfaced here too: only ``HEALTHY`` boards carry index
+    entries, so failed and draining boards are excluded from every
+    placement query without the policies having to know about faults.  The
+    index subscribes to :meth:`PhysicalFPGA.subscribe_health` and drops or
+    re-admits entries on transitions.
     """
 
     def __init__(self, cluster: FPGACluster):
@@ -103,21 +129,38 @@ class PlacementIndex:
         self._by_type: dict[str, list[tuple[int, str]]] = {}
         self._id_order: dict[str, list] = {}
         for board in cluster.boards.values():
-            self._by_type.setdefault(board.model.name, []).append(
-                (board.free_blocks, board.fpga_id)
-            )
+            if board.health is BoardHealth.HEALTHY:
+                self._by_type.setdefault(board.model.name, []).append(
+                    (board.free_blocks, board.fpga_id)
+                )
+            else:
+                self._by_type.setdefault(board.model.name, [])
             self._id_order.setdefault(board.model.name, []).append(board)
             board.subscribe(self._on_change)
+            board.subscribe_health(self._on_health)
         for entries in self._by_type.values():
             entries.sort()
         for boards in self._id_order.values():
             boards.sort(key=lambda b: b.fpga_id)
 
     def _on_change(self, board, old_free: int) -> None:
+        if board.health is not BoardHealth.HEALTHY:
+            return  # unhealthy boards carry no entry to move
         entries = self._by_type[board.model.name]
         at = bisect.bisect_left(entries, (old_free, board.fpga_id))
         entries.pop(at)
         bisect.insort(entries, (board.free_blocks, board.fpga_id))
+
+    def _on_health(self, board, old_health) -> None:
+        was_placeable = old_health is BoardHealth.HEALTHY
+        if was_placeable == (board.health is BoardHealth.HEALTHY):
+            return  # DEGRADED <-> FAILED: absent either way
+        entries = self._by_type[board.model.name]
+        if was_placeable:
+            at = bisect.bisect_left(entries, (board.free_blocks, board.fpga_id))
+            entries.pop(at)
+        else:
+            bisect.insort(entries, (board.free_blocks, board.fpga_id))
 
     # -- queries -------------------------------------------------------------
 
@@ -149,15 +192,24 @@ class PlacementIndex:
         return [boards[fpga_id] for _, fpga_id in ordered]
 
     def boards_by_id(self, device_type: str) -> list:
-        """Boards of one type in stable fpga-id order."""
-        return list(self._id_order.get(device_type, []))
+        """Placeable boards of one type in stable fpga-id order."""
+        return [
+            board
+            for board in self._id_order.get(device_type, [])
+            if board.health is BoardHealth.HEALTHY
+        ]
 
     def check_consistent(self) -> bool:
-        """Index entries match a from-scratch recount (invariant tests)."""
+        """Index entries match a from-scratch recount (invariant tests).
+
+        Only ``HEALTHY`` boards may carry entries, so the recount skips
+        unhealthy boards — an entry for a failed board is an inconsistency.
+        """
         for device_type, entries in self._by_type.items():
             expected = sorted(
                 (board.recount_free_blocks(), board.fpga_id)
                 for board in self._id_order[device_type]
+                if board.health is BoardHealth.HEALTHY
             )
             if entries != expected:
                 return False
@@ -181,6 +233,8 @@ class SystemController:
         eviction_patience_s: float = ms(25.0),
         migration_enabled: bool = False,
         migration_params=None,
+        recovery_enabled: bool = False,
+        recovery_params=None,
     ):
         self.cluster = cluster
         self.catalog = catalog
@@ -197,6 +251,13 @@ class SystemController:
         self.migration_enabled = migration_enabled
         self._migration_params = migration_params
         self._migration_engine = None
+        #: Fault-recovery layer; OFF by default for the same reason.
+        self.recovery_enabled = recovery_enabled
+        self._recovery_params = recovery_params
+        self._recovery_manager = None
+        #: The DES driving this controller, when one is (recovery and
+        #: defrag schedule their completions on it; ``None`` = synchronous).
+        self._simulator = None
         self.deployments: dict[str, Deployment] = {}
         self.index = PlacementIndex(cluster)
         self.stats = ControllerStats()
@@ -206,6 +267,15 @@ class SystemController:
         self._by_model: dict[str, list[Deployment]] = {}
 
     # -- public API (what the hypervisor calls) -------------------------------------
+
+    def bind_simulator(self, simulator) -> None:
+        """Adopt the DES driving this controller.
+
+        Recovery restores and backoff retries become first-class timed
+        events on it; without one they execute synchronously (tests, CLI
+        one-shots).
+        """
+        self._simulator = simulator
 
     def find_idle_deployment(self, model_key: str) -> Deployment | None:
         """An already-resident idle deployment of this model, if any."""
@@ -261,8 +331,16 @@ class SystemController:
                 )
 
     def release(self, deployment: Deployment, now: float) -> None:
-        """Return a deployment to idle after a task completes."""
+        """Return a deployment to idle after a task completes.
+
+        If a board under the deployment failed while it was busy, the
+        recovery deferred to this transition runs now — the task's results
+        had already streamed out, but the replica configuration is gone and
+        must be rebuilt before the deployment can serve again.
+        """
         deployment.release(now)
+        if deployment.pending_recovery and self.recovery_enabled:
+            self.recovery.recover(deployment, now)
 
     def evict(self, deployment: Deployment) -> None:
         """Tear a deployment down and free its blocks."""
@@ -271,10 +349,22 @@ class SystemController:
                 f"cannot evict {deployment.state.value} deployment "
                 f"{deployment.deployment_id}"
             )
+        self.discard(deployment)
+        self.stats.deployments_evicted += 1
+
+    def discard(self, deployment: Deployment) -> None:
+        """Drop a deployment regardless of state (the failure path).
+
+        Releases whatever blocks it still holds — releasing on a failed
+        board is mechanical bookkeeping, and blocks already reclaimed by a
+        repair re-image release as a no-op — and removes it from the
+        deployment indexes.  Callers outside the failure path want
+        :meth:`evict`, which enforces idleness and counts the eviction.
+        """
         for placement in deployment.placements:
             board = self.cluster.board(placement.fpga_id)
             self.low_level.release(board, deployment.deployment_id)
-        del self.deployments[deployment.deployment_id]
+        self.deployments.pop(deployment.deployment_id, None)
         siblings = self._by_model.get(deployment.model_key)
         if siblings is not None:
             try:
@@ -283,7 +373,60 @@ class SystemController:
                 pass
             if not siblings:
                 del self._by_model[deployment.model_key]
-        self.stats.deployments_evicted += 1
+
+    # -- board health (fault subsystem) -------------------------------------------------
+
+    @property
+    def recovery(self):
+        """The failure-recovery manager (created on first use; import is
+        lazy to keep :mod:`repro.faults` off the placement hot path)."""
+        if self._recovery_manager is None:
+            from ..faults.recovery import RecoveryManager
+
+            self._recovery_manager = RecoveryManager(self, self._recovery_params)
+        return self._recovery_manager
+
+    def on_board_failure(self, board, now: float = 0.0) -> None:
+        """A board died: exclude it from placement and recover residents.
+
+        The health transition drops the board from the placement index;
+        with recovery enabled every resident deployment is handed to the
+        recovery manager (idle ones re-place immediately, busy/migrating/
+        restoring ones defer to their next state transition).
+        """
+        if board.health is BoardHealth.FAILED:
+            return
+        board.set_health(BoardHealth.FAILED)
+        self.stats.boards_failed += 1
+        PROFILER.incr("faults.board_failures")
+        if self.recovery_enabled:
+            self.recovery.on_board_failure(board, now)
+
+    def on_board_degraded(self, board, now: float = 0.0) -> None:
+        """Put a board in drain mode: residents keep serving, no new
+        placements land on it (the index drops it like a failure, but no
+        state is lost and no recovery runs)."""
+        if board.health is not BoardHealth.HEALTHY:
+            return
+        board.set_health(BoardHealth.DEGRADED)
+        self.stats.boards_degraded += 1
+        PROFILER.incr("faults.board_degraded")
+
+    def on_board_repair(self, board, now: float = 0.0) -> None:
+        """Return a board to service.
+
+        Repairing a FAILED board re-images it: it comes back empty, so any
+        blocks still attributed to deployments awaiting deferred recovery
+        are reclaimed here (their teardown release later is a no-op).  A
+        DEGRADED board simply resumes taking placements.
+        """
+        if board.health is BoardHealth.HEALTHY:
+            return
+        if board.health is BoardHealth.FAILED:
+            board.reset()
+        board.set_health(BoardHealth.HEALTHY)
+        self.stats.boards_repaired += 1
+        PROFILER.incr("faults.board_repairs")
 
     # -- migration / defragmentation ---------------------------------------------------
 
@@ -492,6 +635,8 @@ class SystemController:
             plan=plan,
             placements=placements,
             last_used_s=now,
+            created_s=now,
+            checkpoint_origin_s=now,
         )
         deployment.service_s = self._service_time(plan, placements)
         self.deployments[deployment_id] = deployment

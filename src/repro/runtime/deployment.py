@@ -23,6 +23,10 @@ class DeploymentState(enum.Enum):
     #: occupied, and the deployment can neither serve nor be evicted until
     #: the move completes (:mod:`repro.migration.engine`).
     MIGRATING = "migrating"
+    #: Being rebuilt after a board failure: destination blocks are held
+    #: while the last checkpoint streams back in; not servable or
+    #: evictable until the restore completes (:mod:`repro.faults`).
+    RECOVERING = "recovering"
 
 
 @dataclass
@@ -51,10 +55,36 @@ class Deployment:
     tasks_served: int = 0
     #: Completed live migrations (defrag moves included).
     migrations: int = 0
+    #: When this deployment was instantiated (anchors checkpoint cadence).
+    created_s: float = 0.0
+    #: Time the periodic-checkpoint clock last restarted: creation, or the
+    #: completion of a recovery (a restore *is* a fresh checkpoint).
+    checkpoint_origin_s: float = 0.0
+    #: Set when a board under this deployment failed while it was busy,
+    #: migrating or mid-restore; the recovery manager picks it up at the
+    #: next state transition instead of yanking blocks out from under the
+    #: in-flight operation.
+    pending_recovery: bool = False
+    #: Completed failure recoveries.
+    recoveries: int = 0
 
     @property
     def member_fpgas(self) -> list:
         return [placement.fpga_id for placement in self.placements]
+
+    def last_checkpoint_s(self, now: float, interval_s: float) -> float:
+        """Most recent periodic-checkpoint time at or before ``now``.
+
+        The cadence policy is arithmetic rather than event-driven: a
+        checkpoint is taken every ``interval_s`` seconds starting at
+        :attr:`checkpoint_origin_s`, so the last one needs no per-deployment
+        DES events to track.  Work since that instant is what a failure
+        loses.
+        """
+        if interval_s <= 0 or now <= self.checkpoint_origin_s:
+            return self.checkpoint_origin_s
+        periods = int((now - self.checkpoint_origin_s) / interval_s)
+        return self.checkpoint_origin_s + periods * interval_s
 
     @property
     def is_idle(self) -> bool:

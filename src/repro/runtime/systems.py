@@ -39,7 +39,8 @@ class ProposedSystem:
 
     def __init__(self, cluster: FPGACluster, catalog: Catalog,
                  timing: TimingParameters = DEFAULT_TIMING,
-                 defrag: bool = False, migration_params=None):
+                 defrag: bool = False, migration_params=None,
+                 recovery: bool = False, recovery_params=None):
         self.cluster = cluster
         self.controller = SystemController(
             cluster,
@@ -49,6 +50,8 @@ class ProposedSystem:
             timing=timing,
             migration_enabled=defrag,
             migration_params=migration_params,
+            recovery_enabled=recovery,
+            recovery_params=recovery_params,
         )
         self._running: dict[int, object] = {}
         #: Set when a :class:`~repro.cluster.simulator.ClusterSimulator`
@@ -68,8 +71,10 @@ class ProposedSystem:
     EXPANSION_PRESSURE = 4
 
     def bind_simulator(self, simulator) -> None:
-        """Adopt the driving DES (gives defrag a clock to schedule on)."""
+        """Adopt the driving DES (gives defrag and failure recovery a
+        clock to schedule on)."""
         self._simulator = simulator
+        self.controller.bind_simulator(simulator)
 
     def has_fast_path(self, task: Task) -> bool:
         return self.controller.find_idle_deployment(task.model_key) is not None
@@ -410,20 +415,25 @@ def build_system(
     catalog: Catalog | None = None,
     timing: TimingParameters = DEFAULT_TIMING,
     defrag: bool = False,
+    recovery: bool = False,
+    recovery_params=None,
 ):
     """Factory over the three evaluated systems.
 
     ``defrag=True`` arms the checkpoint/restore + migration subsystem on
     the framework systems (the baseline has no virtualization layer to
-    migrate through); the default keeps schedules bit-identical to the
-    pre-migration implementation.
+    migrate through); ``recovery=True`` arms checkpoint-based failure
+    recovery (:mod:`repro.faults`).  The defaults keep schedules
+    bit-identical to the pre-migration, pre-faults implementation.
     """
     if name == "baseline":
         return BaselineSystem(cluster, timing)
     if catalog is None:
         raise ReproError(f"system {name!r} needs a catalog")
     if name == "proposed":
-        return ProposedSystem(cluster, catalog, timing, defrag=defrag)
+        return ProposedSystem(cluster, catalog, timing, defrag=defrag,
+                              recovery=recovery, recovery_params=recovery_params)
     if name == "restricted":
-        return RestrictedSystem(cluster, catalog, timing, defrag=defrag)
+        return RestrictedSystem(cluster, catalog, timing, defrag=defrag,
+                                recovery=recovery, recovery_params=recovery_params)
     raise ReproError(f"unknown system {name!r}")

@@ -20,7 +20,7 @@ This package models what the multi-layer framework needs from ViTAL:
 """
 
 from .device import FPGAModel, XCVU37P, XCKU115, DEVICE_TYPES
-from .virtual_block import PhysicalFPGA, VirtualBlockState
+from .virtual_block import BoardHealth, PhysicalFPGA, VirtualBlockState
 from .floorplan import achieved_frequency, FloorplanQuality
 from .compiler import VitalCompiler, CompiledAccelerator
 from .bitstream import Bitstream, BitstreamStore, LowLevelController
@@ -28,6 +28,7 @@ from .bitstream import Bitstream, BitstreamStore, LowLevelController
 __all__ = [
     "Bitstream",
     "BitstreamStore",
+    "BoardHealth",
     "CompiledAccelerator",
     "DEVICE_TYPES",
     "FPGAModel",

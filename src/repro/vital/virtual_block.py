@@ -17,11 +17,27 @@ subscribe to occupancy changes so derived structures never rescan either.
 
 from __future__ import annotations
 
+import enum
 import heapq
 from dataclasses import dataclass
 
 from ..errors import AllocationError
 from .device import FPGAModel
+
+
+class BoardHealth(enum.Enum):
+    """Runtime health of one physical board (the fault-injection model).
+
+    ``HEALTHY`` boards accept new placements.  ``DEGRADED`` boards keep
+    serving the deployments they already host but receive no new ones
+    (drain mode — the operator pulls the board gracefully).  ``FAILED``
+    boards have lost their configuration entirely: resident deployments
+    are gone, and the board re-enters service empty after repair.
+    """
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    FAILED = "failed"
 
 
 @dataclass
@@ -50,6 +66,8 @@ class PhysicalFPGA:
         self._free_heap = list(range(len(self.blocks)))
         self._owned: dict[str, list[int]] = {}
         self._listeners: list = []
+        self.health = BoardHealth.HEALTHY
+        self._health_listeners: list = []
 
     # -- queries -------------------------------------------------------------
 
@@ -65,8 +83,16 @@ class PhysicalFPGA:
         """Deployment ids currently resident on this board."""
         return set(self._owned)
 
+    @property
+    def is_placeable(self) -> bool:
+        """Whether the placement policies may target this board."""
+        return self.health is BoardHealth.HEALTHY
+
     def can_host(self, block_count: int) -> bool:
-        return 0 < block_count <= self._free_count
+        return (
+            self.health is BoardHealth.HEALTHY
+            and 0 < block_count <= self._free_count
+        )
 
     def owned_indices(self, owner: str) -> list:
         """Block indices held by ``owner`` on this board (empty when none).
@@ -94,6 +120,25 @@ class PhysicalFPGA:
         for listener in self._listeners:
             listener(self, old_free)
 
+    def subscribe_health(self, listener) -> None:
+        """Register ``listener(board, old_health)`` for health transitions."""
+        self._health_listeners.append(listener)
+
+    def set_health(self, health: BoardHealth) -> None:
+        """Transition the board's health state, notifying subscribers.
+
+        The board's occupancy bookkeeping stays mechanical across every
+        state (a failed board can still ``release`` so teardown paths need
+        no special cases); what changes is placement eligibility, which the
+        controller's index tracks through the health subscription.
+        """
+        if health is self.health:
+            return
+        old = self.health
+        self.health = health
+        for listener in self._health_listeners:
+            listener(self, old)
+
     # -- allocation ---------------------------------------------------------------
 
     def allocate(self, owner: str, block_count: int) -> list:
@@ -102,6 +147,10 @@ class PhysicalFPGA:
         Returns the reserved block indices; raises
         :class:`AllocationError` when insufficient blocks are free.
         """
+        if self.health is BoardHealth.FAILED:
+            raise AllocationError(
+                f"{self.fpga_id}: board is failed, cannot allocate"
+            )
         if block_count <= 0:
             raise AllocationError(f"{self.fpga_id}: block count must be positive")
         if block_count > self._free_count:

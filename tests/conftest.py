@@ -10,8 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.accel import BW_K115, BW_V37, generate_accelerator, CONTROL_MODULES
-from repro.accel.codegen import GRUCodegen, LSTMCodegen, RNNWeights
+from repro.accel import BW_V37, generate_accelerator, CONTROL_MODULES
+from repro.accel.codegen import RNNWeights
 from repro.core import decompose, partition
 from repro.rtl.builder import DesignBuilder
 

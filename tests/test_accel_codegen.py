@@ -6,8 +6,6 @@ import pytest
 from repro.accel.codegen import (
     MAT_BASE,
     OUT_BASE,
-    R_H_FULL,
-    R_H_SLICE,
     X_BASE,
     GRUCodegen,
     LSTMCodegen,

@@ -6,7 +6,7 @@ import pytest
 from repro.accel import BW_K115, BW_V37, CONTROL_MODULES, generate_accelerator
 from repro.accel.generator import design_summary
 from repro.rtl import design_resources, is_basic_module, validate_design
-from repro.units import mbit, to_mbit
+from repro.units import to_mbit
 
 
 class TestStructure:

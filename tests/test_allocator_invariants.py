@@ -237,6 +237,104 @@ class TestControllerIndexInvariants:
                     assert len(owned) == placement.virtual_blocks
         assert migrated > 20, "storm should have exercised migration"
 
+    def test_chaos_failure_repair_storm(self):
+        """Random board failures and repairs interleaved with deploys,
+        evicts and live migrations (recovery armed, synchronous mode): the
+        cached allocator structures must equal a from-scratch recount after
+        every step, no two deployments may ever own the same block, and no
+        placement may land on an unhealthy board."""
+        from repro.vital.virtual_block import BoardHealth
+
+        cluster = paper_cluster()
+        system = build_system(
+            "proposed", cluster, Catalog(VitalCompiler()), recovery=True
+        )
+        controller = system.controller
+        engine = controller.migration
+        rng = random.Random(2024)
+        keys = ["gru-h512-t1", "lstm-h256-t150", "lstm-h512-t25"]
+        board_ids = sorted(cluster.boards)
+        now = 0.0
+        migrated = 0
+        for _step in range(400):
+            now += 0.005
+            action = rng.random()
+            if action < 0.35:
+                try:
+                    controller.deploy(rng.choice(keys), now=now)
+                except AllocationError:
+                    pass
+            elif action < 0.45:
+                idle = [
+                    d for d in controller.deployments.values() if d.is_idle
+                ]
+                if idle:
+                    controller.evict(rng.choice(idle))
+            elif action < 0.60:
+                idle = [
+                    d for d in controller.deployments.values() if d.is_idle
+                ]
+                if idle:
+                    deployment = rng.choice(idle)
+                    replica = rng.randrange(len(deployment.placements))
+                    occupied = {p.fpga_id for p in deployment.placements}
+                    candidates = [
+                        board
+                        for board in cluster.boards.values()
+                        if board.model.name in deployment.plan.images
+                        and board.fpga_id not in occupied
+                        and board.can_host(
+                            deployment.plan.images[
+                                board.model.name
+                            ].virtual_blocks
+                        )
+                    ]
+                    if candidates:
+                        engine.migrate(
+                            deployment,
+                            {replica: rng.choice(candidates)},
+                            now=now,
+                        )
+                        migrated += 1
+            elif action < 0.70:
+                board = cluster.board(rng.choice(board_ids))
+                controller.on_board_degraded(board, now)
+            elif action < 0.85:
+                board = cluster.board(rng.choice(board_ids))
+                controller.on_board_failure(board, now)
+            else:
+                board = cluster.board(rng.choice(board_ids))
+                controller.on_board_repair(board, now)
+            # Every cached structure equals a from-scratch recount, in
+            # every health configuration.
+            for board in cluster.boards.values():
+                _assert_board_consistent(board)
+            assert controller.index.check_consistent()
+            # Never double-place: every block is owned by at most one
+            # deployment, and every placement's record matches the board.
+            claimed: dict = {}
+            for deployment in controller.deployments.values():
+                for placement in deployment.placements:
+                    board = cluster.board(placement.fpga_id)
+                    owned = board.owned_indices(deployment.deployment_id)
+                    assert len(owned) == placement.virtual_blocks
+                    for index in owned:
+                        slot = (placement.fpga_id, index)
+                        assert slot not in claimed, (
+                            f"block {slot} owned by both {claimed[slot]} "
+                            f"and {deployment.deployment_id}"
+                        )
+                        claimed[slot] = deployment.deployment_id
+                    # Recovery must never have placed onto a board that
+                    # was unhealthy at placement time and is FAILED now
+                    # (a FAILED board's residents are recovered or gone).
+                    assert board.health is not BoardHealth.FAILED
+        stats = controller.stats
+        assert stats.boards_failed > 20, "storm should have failed boards"
+        assert stats.deployments_failed > 0
+        assert stats.recoveries > 0, "storm should have exercised recovery"
+        assert migrated > 5, "storm should have exercised migration"
+
     def test_index_tracks_direct_board_allocation(self, deployed_controller):
         """Tests (and tools) allocate on boards directly; the placement
         index must observe those too, not just controller-driven changes."""

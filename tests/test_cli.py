@@ -98,3 +98,25 @@ class TestClusterStatus:
         text = _run("cluster-status", "--deploy", "no-such-model")
         assert "deploy no-such-model:" in text
         assert "fragmentation" in text
+
+
+class TestInjectFaults:
+    def test_reports_failures_and_recoveries(self):
+        text = _run(
+            "inject-faults", "--tasks", "45", "--mtbf", "0.5",
+            "--mttr", "0.05", "--seed", "7",
+        )
+        assert "board failures" in text
+        assert "recovery:" in text
+        assert "availability" in text
+        assert "45 tasks completed" in text
+
+    def test_fault_free_when_mtbf_exceeds_horizon(self):
+        # With an MTBF of hours against a sub-second stream the seeded
+        # timeline draws no failure before the horizon.
+        text = _run(
+            "inject-faults", "--tasks", "12", "--mtbf", "3600",
+            "--seed", "1",
+        )
+        assert "faults: 0 board failures" in text
+        assert "availability 1.000" in text

@@ -7,7 +7,6 @@ from repro.accel import BW_K115, BW_V37, CONTROL_MODULES, generate_accelerator
 from repro.core import PatternKind, decompose
 from repro.core.decompose import Decomposer
 from repro.errors import DecomposeError
-from repro.resources import ResourceVector
 from repro.rtl import design_resources
 from repro.rtl.builder import DesignBuilder
 

@@ -3,7 +3,6 @@ pattern-guided tool (the search-space-pruning claim of Section 2.2.2)."""
 
 import pytest
 
-from repro.core import PatternKind, decompose
 from repro.core.flat_partition import (
     compare_partitioners,
     flat_bipartition,

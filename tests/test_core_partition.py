@@ -31,8 +31,8 @@ class TestPipelineSplit:
         tree = partition(pipeline_block("p", stages), iterations=1)
         root = tree.root
         assert root.cut_bits == 8
-        assert [l.name for l in root.left.cluster.leaves()] == ["a", "b"]
-        assert [l.name for l in root.right.cluster.leaves()] == ["c", "d"]
+        assert [leaf.name for leaf in root.left.cluster.leaves()] == ["a", "b"]
+        assert [leaf.name for leaf in root.right.cluster.leaves()] == ["c", "d"]
 
     def test_cut_kind_recorded(self):
         tree = partition(

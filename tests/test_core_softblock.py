@@ -108,7 +108,7 @@ class TestClone:
         copy = tree.clone()
         assert copy.block_id != tree.block_id
         assert copy.signature == tree.signature
-        assert [l.name for l in copy.leaves()] == ["a", "b"]
+        assert [leaf.name for leaf in copy.leaves()] == ["a", "b"]
         copy.children[0].name = "mutated"
         assert tree.children[0].name == "a"
 

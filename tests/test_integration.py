@@ -11,8 +11,8 @@ from repro.accel import (
     CycleModel,
     generate_accelerator,
 )
-from repro.accel.codegen import GRUCodegen, RNNWeights, build_scaleout_programs
-from repro.accel.functional import run_program, run_scaleout
+from repro.accel.codegen import GRUCodegen
+from repro.accel.functional import run_program
 from repro.accel.codegen import OUT_BASE
 from repro.cluster import ClusterSimulator, paper_cluster
 from repro.core import decompose, partition, render_tree

@@ -7,7 +7,6 @@ import pytest
 from repro.accel.codegen import GRUCodegen, RNNWeights, build_scaleout_programs
 from repro.errors import ISAError
 from repro.isa.comm_insertion import ScaleOutPlan, insert_scaleout_communication
-from repro.isa.dependencies import build_dependence_graph
 from repro.isa.instructions import Op
 from repro.isa.program import Program
 from repro.isa.reorder import overlap_window, reorder_for_overlap

@@ -1,7 +1,5 @@
 """Tests for design flattening (the decomposer's step-1 fallback)."""
 
-import pytest
-
 from repro.accel import BW_V37, generate_accelerator
 from repro.rtl import (
     design_resources,

@@ -6,10 +6,10 @@ import pytest
 from repro.accel import BW_V37, CONTROL_MODULES, generate_accelerator
 from repro.cluster import paper_cluster
 from repro.core import PatternKind, decompose, decompose_top_down
-from repro.errors import AllocationError, CompileError, DecomposeError, DeploymentError
+from repro.errors import CompileError, DecomposeError, DeploymentError
 from repro.resources import ResourceVector
 from repro.runtime import Catalog, HypervisorAPI, SystemController
-from repro.units import mbit, mhz
+from repro.units import mhz
 from repro.vital import LowLevelController, VitalCompiler, XCVU37P
 from repro.vital.device import FPGAModel
 
@@ -32,8 +32,8 @@ class TestTopDownFlow:
 
     def test_lane_stages_match(self, both):
         top_down, bottom_up = both
-        td_stages = [l.module_name for l in top_down.data_root.children[0].children]
-        bu_stages = [l.module_name for l in bottom_up.data_root.children[0].children]
+        td_stages = [lane.module_name for lane in top_down.data_root.children[0].children]
+        bu_stages = [lane.module_name for lane in bottom_up.data_root.children[0].children]
         assert td_stages == bu_stages
 
     def test_leaf_sets_equal(self, both):

@@ -3,14 +3,13 @@ floorplanning, the compiler and the bitstream/controller layer."""
 
 import pytest
 
-from repro.core import decompose, partition
+from repro.core import partition
 from repro.errors import AllocationError, CompileError, DeploymentError
 from repro.resources import ResourceVector
 from repro.units import mbit, mhz
 from repro.vital import (
     Bitstream,
     BitstreamStore,
-    FPGAModel,
     LowLevelController,
     PhysicalFPGA,
     VitalCompiler,

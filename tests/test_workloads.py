@@ -1,6 +1,5 @@
 """Workload tests: DeepBench specs, Table-1 compositions and arrivals."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ReproError
