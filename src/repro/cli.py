@@ -11,6 +11,8 @@ Commands mirror the paper's workflow:
 * ``isolation``         — Section 4.4's sharing-isolation result.
 * ``compile-overhead``  — Section 4.3's compile-cost accounting.
 * ``inject-faults``     — seeded board-failure run with automatic recovery.
+* ``serve``             — bursty stream through the overload-robust
+  serving frontend (admission, deadlines, retries, breakers, brownout).
 * ``cluster-status``    — per-board occupancy, free histograms, fragmentation.
 * ``all``               — regenerate everything (what EXPERIMENTS.md records).
 """
@@ -80,6 +82,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degraded-fraction", type=float, default=0.0,
                    help="fraction of faults that drain instead of failing "
                    "hard (default 0)")
+
+    p = sub.add_parser(
+        "serve",
+        help="run a bursty request stream through the overload-robust "
+        "serving frontend (admission control, deadlines, retries, "
+        "breakers, brownout)",
+    )
+    p.add_argument("--tasks", type=int, default=240,
+                   help="requests in the stream (default 240)")
+    p.add_argument("--load", type=float, default=2.0,
+                   help="offered load as a multiple of the saturating "
+                   "rate (default 2.0)")
+    p.add_argument("--deadline", type=float, default=0.25,
+                   help="per-request deadline, seconds after arrival "
+                   "(default 0.25)")
+    p.add_argument("--queue-depth", type=int, default=12,
+                   help="per-model admission queue bound (default 12)")
+    p.add_argument("--mtbf", type=float, default=0.0,
+                   help="arm the fault injector at this per-board MTBF "
+                   "in seconds (0 = fault-free, the default)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fault-timeline seed (default 7)")
 
     p = sub.add_parser(
         "cluster-status",
@@ -276,6 +300,62 @@ def _cmd_inject_faults(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from .experiments.bench_serving import run_point, serving_parameters
+    from dataclasses import replace
+
+    params = replace(
+        serving_parameters(),
+        default_deadline_s=args.deadline,
+        max_queue_depth=args.queue_depth,
+    )
+    point = run_point(
+        args.tasks,
+        args.load,
+        mtbf_s=args.mtbf if args.mtbf > 0 else None,
+        params=params,
+        fault_seed=args.seed,
+    )
+    print(
+        f"stream: {point['offered']} offered at "
+        f"{point['offered_rate_per_s']:.0f} req/s "
+        f"(x{point['load_factor']:g} saturation), deadline "
+        f"{args.deadline * 1e3:.0f} ms",
+        file=out,
+    )
+    print(
+        f"admission: {point['admitted']} admitted, {point['shed']} shed, "
+        f"{point['expired']} expired, {point['abandoned']} abandoned, "
+        f"{point['breaker_rejections']} breaker-rejected",
+        file=out,
+    )
+    print(
+        f"service: {point['completed']} completed, SLO attainment "
+        f"{point['slo_admitted']:.3f} (admitted basis), "
+        f"goodput {point['goodput_per_s']:.0f} req/s, "
+        f"p50 {point['p50_latency_s'] * 1e3:.2f} ms, "
+        f"p99 {point['p99_latency_s'] * 1e3:.2f} ms",
+        file=out,
+    )
+    print(
+        f"resilience: {point['placement_retries']} placement retries, "
+        f"breakers {point['breaker_opens']} opened / "
+        f"{point['breaker_half_opens']} half-open / "
+        f"{point['breaker_closes']} closed, "
+        f"brownout {point['brownout_entries']} entries / "
+        f"{point['brownout_switches']} plan switches",
+        file=out,
+    )
+    if point["mtbf_s"]:
+        print(
+            f"faults: {point['boards_failed']} board failures, "
+            f"{point['recoveries']} deployments recovered "
+            f"(mtbf {point['mtbf_s']:g}s, seed {args.seed})",
+            file=out,
+        )
+    return 0
+
+
 def _run_experiment(name: str, args, out) -> int:
     from . import experiments
     from .experiments import (
@@ -329,6 +409,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_cluster_status(args, out)
     if command == "inject-faults":
         return _cmd_inject_faults(args, out)
+    if command == "serve":
+        return _cmd_serve(args, out)
     if command == "all":
         for name in ("table2", "table3", "table4", "fig11", "fig12",
                      "compile-overhead", "isolation"):

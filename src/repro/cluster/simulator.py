@@ -77,6 +77,22 @@ class Scheduler(Protocol):
         conservative (never later than the true unblock time); the simulator
         uses them to skip provably fruitless attempts."""
 
+    def admit(self, task: Task, now: float) -> bool:
+        """Optional (serving layer): called once at arrival, before the
+        task is queued.  Returning ``False`` sheds the task — it is recorded
+        in :attr:`SimulationResult.dropped` and never dispatched."""
+
+    def should_drop(self, task: Task, now: float) -> bool:
+        """Optional (serving layer): called at dequeue, before placement is
+        attempted.  Returning ``True`` drops the task (deadline expiry,
+        exhausted retry budget) without it ever occupying a board."""
+
+    def has_pending_timers(self) -> bool:
+        """Optional (serving layer): ``True`` while any queued task holds a
+        live time gate (deadline, retry backoff) that will eventually fire.
+        Suppresses the idle-cluster deadlock detector, which otherwise has
+        no way to tell a waiting queue from a wedged one."""
+
 
 @dataclass
 class SimulationResult:
@@ -84,6 +100,9 @@ class SimulationResult:
 
     system: str
     completed: list = field(default_factory=list)
+    #: Tasks shed at admission or dropped at dequeue (serving layer only;
+    #: empty for schedulers without admission control).
+    dropped: list = field(default_factory=list)
     makespan_s: float = 0.0
 
     @property
@@ -163,6 +182,13 @@ class ClusterSimulator:
     # -- event handlers ----------------------------------------------------------
 
     def _arrive(self, task: Task) -> None:
+        admit = getattr(self.scheduler, "admit", None)
+        if admit is not None and not admit(task, self.queue.now):
+            # Shed at the door: never queued, never dispatched.  Admission
+            # state (queue depths, token buckets) is the scheduler's.
+            self._result.dropped.append(task)
+            PROFILER.incr("simulator.admission_sheds")
+            return
         self._pending.append(task)
         # A new arrival changes queue pressure, which admission/expansion
         # policies observe — previously blocked models must be re-attempted.
@@ -189,6 +215,7 @@ class ClusterSimulator:
         fast_path = getattr(self.scheduler, "has_fast_path", None)
         observe = getattr(self.scheduler, "observe_queue", None)
         retry_hint = getattr(self.scheduler, "retry_hint", None)
+        should_drop = getattr(self.scheduler, "should_drop", None)
         try:
             progress = True
             while progress:
@@ -210,6 +237,18 @@ class ClusterSimulator:
                     scan.sort(key=lambda t: (not fast_path(t), t.arrival_s))
                 now = self.queue.now
                 for task in scan:
+                    if should_drop is not None and should_drop(task, now):
+                        # Dropped at dequeue (deadline expiry, exhausted
+                        # retry budget): the task never occupies a board.
+                        # Checked before the watermark so an expiry is
+                        # never delayed by a blocked model's time gate.
+                        self._pending.remove(task)
+                        self._result.dropped.append(task)
+                        PROFILER.incr("simulator.dequeue_drops")
+                        self._resource_version += 1
+                        progress = True
+                        self._idle_retries = 0
+                        continue
                     watermark = self._blocked.get(task.model_key)
                     if (
                         watermark is not None
@@ -251,13 +290,16 @@ class ClusterSimulator:
             # Time-gated policies (eviction staleness) need the clock to
             # advance before a blocked task can be placed; poll.
             if self._running_count == 0 and self._external_inflight == 0:
-                self._idle_retries += 1
-                if self._idle_retries > self.MAX_IDLE_RETRIES:
-                    stuck = sorted({t.model_key for t in self._pending})
-                    raise SimulationError(
-                        f"{self.system_name}: {len(self._pending)} tasks "
-                        f"stuck with an idle cluster (models: {stuck})"
-                    )
+                timers = getattr(self.scheduler, "has_pending_timers", None)
+                waiting = timers is not None and timers()
+                if not waiting:
+                    self._idle_retries += 1
+                    if self._idle_retries > self.MAX_IDLE_RETRIES:
+                        stuck = sorted({t.model_key for t in self._pending})
+                        raise SimulationError(
+                            f"{self.system_name}: {len(self._pending)} tasks "
+                            f"stuck with an idle cluster (models: {stuck})"
+                        )
             self._retry_scheduled = True
             self.queue.schedule_in(self.RETRY_INTERVAL_S, self._retry)
 

@@ -12,6 +12,14 @@ counters or the smoke workload::
 
     PYTHONPATH=src python -m repro.experiments.bench_fig12 --smoke \
         --output benchmarks/baselines/BENCH_fig12_smoke.json
+
+The gate also (optionally, via ``--serving-current``) checks the serving
+smoke report: the overload gate point must still pass, and its
+admitted-request SLO attainment may not drop more than 5 percentage
+points below the committed baseline.  Refresh that baseline with::
+
+    PYTHONPATH=src python -m repro.experiments.bench_serving --smoke \
+        --output benchmarks/baselines/BENCH_serving_smoke.json
 """
 
 from __future__ import annotations
@@ -23,6 +31,11 @@ import sys
 
 DEFAULT_BASELINE = "benchmarks/baselines/BENCH_fig12_smoke.json"
 DEFAULT_TOLERANCE = 0.25
+
+SERVING_BASELINE = "benchmarks/baselines/BENCH_serving_smoke.json"
+#: Allowed drop in admitted-request SLO attainment at the gate point
+#: (5 percentage points).
+SLO_DROP_TOLERANCE = 0.05
 
 #: Deterministic work counters (exact comparison, warnings only).
 COUNTER_KEYS = (
@@ -74,6 +87,58 @@ def compare(current: dict, baseline: dict, tolerance: float) -> tuple:
     return failures, warnings
 
 
+def compare_serving(
+    current: dict, baseline: dict, slo_tolerance: float = SLO_DROP_TOLERANCE
+) -> tuple:
+    """SLO-attainment gate on the serving smoke report: ``(failures,
+    warnings)``.  Fails when the overload gate point no longer passes or
+    its SLO attainment regressed more than ``slo_tolerance`` below the
+    committed baseline; latency/shed drift only warns (the bench's own
+    ``gate.pass`` bounds the absolutes)."""
+    failures: list = []
+    warnings: list = []
+    cur_work = current["workload"]
+    base_work = baseline["workload"]
+    if cur_work["task_count"] != base_work["task_count"]:
+        failures.append(
+            f"serving scale mismatch: current {cur_work['task_count']} "
+            f"tasks vs baseline {base_work['task_count']} — comparing "
+            f"different workloads"
+        )
+        return failures, warnings
+    cur_gate = current["gate"]
+    base_gate = baseline["gate"]
+    if not cur_gate["pass"]:
+        failures.append(
+            f"serving gate point failed outright: SLO "
+            f"{cur_gate['slo_admitted']:.3f} (floor "
+            f"{cur_gate['slo_floor']}), p99 "
+            f"{cur_gate['p99_latency_s'] * 1e3:.1f} ms (bound "
+            f"{cur_gate['p99_bound_s'] * 1e3:.0f} ms)"
+        )
+    drop = base_gate["slo_admitted"] - cur_gate["slo_admitted"]
+    if drop > slo_tolerance:
+        failures.append(
+            f"serving SLO regression: attainment "
+            f"{cur_gate['slo_admitted']:.3f} vs baseline "
+            f"{base_gate['slo_admitted']:.3f} "
+            f"({drop * 100:.1f} pp drop, tolerance "
+            f"{slo_tolerance * 100:.0f} pp)"
+        )
+    else:
+        warnings.append(
+            f"serving SLO: {cur_gate['slo_admitted']:.3f} vs baseline "
+            f"{base_gate['slo_admitted']:.3f} — within tolerance"
+        )
+    if cur_gate["p99_latency_s"] > 1.25 * base_gate["p99_latency_s"]:
+        warnings.append(
+            f"serving p99 drift: {cur_gate['p99_latency_s'] * 1e3:.1f} ms "
+            f"vs baseline {base_gate['p99_latency_s'] * 1e3:.1f} ms "
+            f"(still inside the gate's absolute bound)"
+        )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_fig12.json",
@@ -83,10 +148,27 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed fractional wall-clock slowdown "
                         "(default 0.25)")
+    parser.add_argument("--serving-current", default=None,
+                        help="freshly produced serving smoke report "
+                        "(omit to skip the serving gate)")
+    parser.add_argument("--serving-baseline", default=SERVING_BASELINE,
+                        help="committed serving reference report")
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
     failures, warnings = compare(current, baseline, args.tolerance)
+    if args.serving_current:
+        serving_current = json.loads(
+            pathlib.Path(args.serving_current).read_text()
+        )
+        serving_baseline = json.loads(
+            pathlib.Path(args.serving_baseline).read_text()
+        )
+        serving_failures, serving_warnings = compare_serving(
+            serving_current, serving_baseline
+        )
+        failures.extend(serving_failures)
+        warnings.extend(serving_warnings)
     for message in warnings:
         print(f"[warn] {message}")
     for message in failures:

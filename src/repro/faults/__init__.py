@@ -31,12 +31,13 @@ Fig. 12 goldens — stay bit-identical.
 
 from ..vital.virtual_block import BoardHealth
 from .injector import FaultInjector, FaultModelParameters
-from .recovery import RecoveryManager, RecoveryParameters
+from .recovery import RecoveryAbandoned, RecoveryManager, RecoveryParameters
 
 __all__ = [
     "BoardHealth",
     "FaultInjector",
     "FaultModelParameters",
+    "RecoveryAbandoned",
     "RecoveryManager",
     "RecoveryParameters",
 ]

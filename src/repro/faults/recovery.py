@@ -52,6 +52,28 @@ class RecoveryParameters:
     #: counted).
     max_retries: int = 8
 
+    def backoff_s(self, attempt: int) -> float:
+        """The capped backoff delay scheduled before retry ``attempt``."""
+        return min(self.retry_cap_s, self.retry_base_s * (2 ** attempt))
+
+
+@dataclass(frozen=True)
+class RecoveryAbandoned:
+    """Structured event: a deployment could not be rebuilt.
+
+    Emitted through :meth:`~repro.runtime.controller.SystemController.
+    emit_event` when the recovery manager gives up — after the final
+    backoff retry, or immediately in synchronous mode (no DES to schedule
+    retries on).  The model stays servable: its next task re-deploys from
+    the catalog; what is lost is the warm deployment and its checkpoint.
+    """
+
+    model_key: str
+    replicas: int
+    attempts: int
+    at_s: float
+    reason: str
+
 
 class RecoveryManager:
     """Re-places deployments broken by board failures (one per controller)."""
@@ -192,14 +214,36 @@ class RecoveryManager:
         if attempt >= self.params.max_retries or controller._simulator is None:
             controller.stats.recovery_failures += 1
             PROFILER.incr("faults.recovery_failures")
+            reason = (
+                "retries-exhausted"
+                if attempt >= self.params.max_retries
+                else "no-simulator"
+            )
+            controller.emit_event(
+                RecoveryAbandoned(
+                    model_key=model_key,
+                    replicas=plan.replicas,
+                    attempts=attempt,
+                    at_s=now,
+                    reason=reason,
+                )
+            )
             return
-        delay = min(
-            self.params.retry_cap_s, self.params.retry_base_s * (2 ** attempt)
-        )
+        delay = self.params.backoff_s(attempt)
         controller.stats.recovery_retries += 1
+        controller.stats.recovery_backoff_s += delay
         PROFILER.incr("faults.recovery_retries")
 
         def retry(fire_now, model_key=model_key, plan=plan, attempt=attempt):
             self._replace(model_key, plan, fire_now, attempt + 1)
 
         controller._simulator.schedule_external(delay, retry)
+
+    # The capped schedule, surfaced: attempt -> delay (docs and tests ask
+    # the manager, not the arithmetic, so the cap stays a single source).
+    def backoff_schedule(self) -> list[float]:
+        """Every backoff delay this manager would schedule, in order."""
+        return [
+            self.params.backoff_s(attempt)
+            for attempt in range(self.params.max_retries)
+        ]

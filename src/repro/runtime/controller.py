@@ -103,8 +103,22 @@ class ControllerStats:
     recovery_retries: int = 0
     #: Deployments abandoned after exhausting recovery retries.
     recovery_failures: int = 0
+    #: Total backoff delay the recovery manager actually scheduled (the
+    #: surfaced retry schedule; capped per attempt at ``retry_cap_s``).
+    recovery_backoff_s: float = 0.0
     #: Simulated work lost to failures (time since last checkpoint).
     lost_work_s: float = 0.0
+    #: Requests shed by serving admission control (queue bound/token bucket).
+    requests_shed: int = 0
+    #: Requests expired at dequeue (past deadline, never occupied a board).
+    requests_expired: int = 0
+    #: Requests abandoned after exhausting their serving retry budget.
+    requests_abandoned: int = 0
+    #: Placement attempts rejected because circuit breakers held every
+    #: feasible board open.
+    breaker_rejections: int = 0
+    #: Idle deployments switched to a narrower plan under brownout.
+    brownout_switches: int = 0
 
 
 class PlacementIndex:
@@ -261,6 +275,15 @@ class SystemController:
         self.deployments: dict[str, Deployment] = {}
         self.index = PlacementIndex(cluster)
         self.stats = ControllerStats()
+        #: Structured operational events (recovery abandonments, serving
+        #: transitions); bounded so long chaos runs cannot grow it without
+        #: limit.  Consumers read, they don't poll — it is a log, not a bus.
+        self.events: list = []
+        self.max_events = 4096
+        #: Serving brownout: when set, ``deploy`` orders plans by block
+        #: footprint ascending (narrowest scale-down plan first) so hot
+        #: models shrink instead of monopolising the cluster.
+        self.prefer_narrow = False
         self._ids = itertools.count(1)
         self._service_cache: dict = {}
         #: model key -> resident deployments in creation order.
@@ -311,7 +334,9 @@ class SystemController:
         PROFILER.incr("controller.deploy_calls")
         entry = self.catalog.entry(model_by_key(model_key))
         plans = entry.sorted_plans()
-        if self.plan_order is PlanOrder.WIDEST_FIRST:
+        if self.prefer_narrow:
+            plans = sorted(plans, key=self.plan_footprint)
+        elif self.plan_order is PlanOrder.WIDEST_FIRST:
             plans = list(reversed(plans))
         may_evict = waited_s >= self.eviction_patience_s
         while True:
@@ -329,6 +354,30 @@ class SystemController:
                     f"no feasible allocation for {model_key} "
                     f"(free blocks: {self.cluster.total_free_blocks()})"
                 )
+
+    def emit_event(self, event) -> None:
+        """Append a structured operational event (bounded ring)."""
+        self.events.append(event)
+        if len(self.events) > self.max_events:
+            del self.events[: len(self.events) - self.max_events]
+
+    @staticmethod
+    def plan_footprint(plan: DeploymentPlan) -> int:
+        """Total virtual blocks a plan occupies in its cheapest per-type
+        image — the size ordering brownout and scale-down switches use."""
+        return plan.replicas * min(
+            image.virtual_blocks for image in plan.images.values()
+        )
+
+    def place_plan(self, plan: DeploymentPlan, now: float) -> tuple | None:
+        """Place one specific plan right now, without eviction or plan
+        search.  Returns ``(deployment, reconfig_seconds)`` or ``None``
+        when no placement exists — the serving layer's brownout switch and
+        probes use this to target an exact width."""
+        assignment = self._find_placement(plan)
+        if assignment is None:
+            return None
+        return self._instantiate(plan, assignment, now)
 
     def release(self, deployment: Deployment, now: float) -> None:
         """Return a deployment to idle after a task completes.

@@ -79,6 +79,12 @@ class ProposedSystem:
     def has_fast_path(self, task: Task) -> bool:
         return self.controller.find_idle_deployment(task.model_key) is not None
 
+    def running_deployment(self, task_id: int):
+        """The deployment serving ``task_id`` right now (``None`` when the
+        task is not running).  The serving layer reads this to attribute
+        completions to boards for its circuit breakers."""
+        return self._running.get(task_id)
+
     def observe_queue(self, pending_by_model: dict) -> None:
         self._queue_view = dict(pending_by_model)
 

@@ -1,0 +1,62 @@
+"""Serving requests: tasks with deadlines and a terminal outcome.
+
+A :class:`Request` is a :class:`~repro.cluster.simulator.Task` carrying an
+absolute deadline; the :class:`~repro.serving.frontend.ServingFrontend`
+tracks its admission/retry state in a :class:`RequestRecord` keyed by task
+id, so plain ``Task`` streams work too (they get the frontend's default
+deadline).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..cluster.simulator import Task
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal disposition of one request at the serving edge."""
+
+    #: Still queued or running.
+    PENDING = "pending"
+    #: Finished service (SLO attainment is judged separately).
+    COMPLETED = "completed"
+    #: Rejected by admission control (queue bound or token bucket).
+    SHED = "shed"
+    #: Past its deadline at dequeue; dropped without occupying a board.
+    EXPIRED = "expired"
+    #: Exhausted its placement-retry budget.
+    ABANDONED = "abandoned"
+
+
+@dataclass
+class Request(Task):
+    """One serving request: a task with an absolute deadline.
+
+    ``deadline_s <= 0`` means "use the frontend's default" (arrival plus
+    :attr:`~repro.serving.policy.ServingParameters.default_deadline_s`).
+    """
+
+    deadline_s: float = 0.0
+
+
+@dataclass
+class RequestRecord:
+    """Frontend-side state for one in-flight request."""
+
+    task: Task
+    #: Absolute deadline (resolved against the frontend default).
+    deadline_s: float
+    outcome: RequestOutcome = RequestOutcome.PENDING
+    #: Genuine placement failures absorbed so far.
+    attempts: int = 0
+    #: Earliest time the next placement attempt may run (backoff gate).
+    next_attempt_s: float = 0.0
+    #: Boards the request ran on (breaker attribution), set at start.
+    board_ids: list = field(default_factory=list)
+    #: Whether the request ever occupied a board.
+    started: bool = False
+
+    def deadline_missed(self, now: float) -> bool:
+        return now > self.deadline_s

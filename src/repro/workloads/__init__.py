@@ -23,7 +23,12 @@ from .synthetic import (
     load_trace,
     save_trace,
 )
-from .arrival import poisson_arrivals, uniform_arrivals
+from .arrival import (
+    diurnal_arrivals,
+    mmpp_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
 
 __all__ = [
     "MODEL_POOL",
@@ -31,8 +36,10 @@ __all__ = [
     "TABLE1_COMPOSITIONS",
     "TABLE4_BENCHMARKS",
     "WorkloadComposition",
+    "diurnal_arrivals",
     "generate_workload",
     "load_trace",
+    "mmpp_arrivals",
     "save_trace",
     "model_by_key",
     "poisson_arrivals",

@@ -120,3 +120,21 @@ class TestInjectFaults:
         )
         assert "faults: 0 board failures" in text
         assert "availability 1.000" in text
+
+
+class TestServe:
+    def test_reports_admission_and_slo(self):
+        text = _run("serve", "--tasks", "60", "--load", "2")
+        assert "60 offered" in text
+        assert "admission:" in text
+        assert "SLO attainment" in text
+        assert "brownout" in text
+
+    def test_overload_with_faults_sheds_and_recovers(self):
+        text = _run(
+            "serve", "--tasks", "90", "--load", "6",
+            "--queue-depth", "3", "--deadline", "0.05", "--mtbf", "1.0",
+        )
+        assert "shed" in text
+        assert "faults:" in text
+        assert "recovered" in text

@@ -1,0 +1,503 @@
+"""Serving-edge tests (:mod:`repro.serving`).
+
+Covers the policy primitives (token bucket, parameters, backoff), the
+admission path (bounded queues, tail vs head drop), deadline expiry at
+dequeue, the placement retry budget and abandonment, the per-board
+circuit-breaker state machine (unit and DES-integrated), brownout
+plan-switching, the new arrival processes, and the recovery-backoff
+surfacing added alongside the frontend.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSimulator, Task, paper_cluster
+from repro.errors import ReproError
+from repro.faults import FaultInjector, RecoveryAbandoned
+from repro.runtime import Catalog, build_system
+from repro.serving import (
+    BreakerState,
+    CircuitBreaker,
+    Request,
+    RequestOutcome,
+    ServingFrontend,
+    ServingParameters,
+    SheddingPolicy,
+    TokenBucket,
+)
+from repro.vital import BoardHealth, VitalCompiler
+from repro.workloads import diurnal_arrivals, mmpp_arrivals
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return Catalog(VitalCompiler())
+
+
+def _frontend(catalog, recovery=True, **param_overrides):
+    cluster = paper_cluster()
+    system = build_system("proposed", cluster, catalog, recovery=recovery)
+    params = ServingParameters(**param_overrides)
+    return cluster, system, ServingFrontend(system, params)
+
+
+def _requests(count, model_key="gru-h512-t1", gap_s=0.001, deadline_s=0.0):
+    return [
+        Request(
+            task_id=index,
+            model_key=model_key,
+            arrival_s=index * gap_s,
+            size_class="S",
+            deadline_s=deadline_s,
+        )
+        for index in range(count)
+    ]
+
+
+class TestTokenBucket:
+    def test_burst_then_starvation(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate_per_s=10.0, burst=2.0)
+        bucket.try_take(0.0)
+        bucket.try_take(0.0)
+        assert not bucket.try_take(0.05)  # 0.5 tokens accrued
+        assert bucket.try_take(0.1)  # 1.0 token accrued
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate_per_s=100.0, burst=3.0)
+        assert bucket.tokens == 3.0
+        bucket.try_take(10.0)
+        assert bucket.tokens == 2.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ReproError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ReproError):
+            TokenBucket(1.0, -1.0)
+
+
+class TestServingParameters:
+    def test_defaults_validate(self):
+        ServingParameters()
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ReproError):
+            ServingParameters(max_queue_depth=0)
+        with pytest.raises(ReproError):
+            ServingParameters(retry_jitter=1.0)
+        with pytest.raises(ReproError):
+            ServingParameters(
+                brownout_low_watermark=0.9, brownout_high_watermark=0.8
+            )
+
+    def test_backoff_doubles_and_caps(self):
+        params = ServingParameters(retry_base_s=0.002, retry_cap_s=0.006)
+        assert params.backoff_s(1) == 0.002
+        assert params.backoff_s(2) == 0.004
+        assert params.backoff_s(3) == 0.006  # capped
+        assert params.backoff_s(9) == 0.006
+
+
+class TestAdmission:
+    def test_tail_drop_sheds_arrivals_past_the_bound(self, catalog):
+        _, _, frontend = _frontend(catalog, max_queue_depth=3)
+        tasks = _requests(5)
+        admitted = [frontend.admit(task, 0.0) for task in tasks]
+        assert admitted == [True, True, True, False, False]
+        assert frontend.stats.offered == 5
+        assert frontend.stats.admitted == 3
+        assert frontend.stats.shed == 2
+        for task in tasks[3:]:
+            assert (
+                frontend.record_for(task.task_id).outcome
+                is RequestOutcome.SHED
+            )
+
+    def test_head_drop_condemns_the_oldest(self, catalog):
+        _, _, frontend = _frontend(
+            catalog, max_queue_depth=2, shedding=SheddingPolicy.HEAD_DROP
+        )
+        tasks = _requests(3)
+        assert all(frontend.admit(task, 0.0) for task in tasks)
+        # The arrival was admitted; the oldest queued request paid for it.
+        assert frontend.stats.admitted == 3
+        assert frontend.stats.shed == 1
+        assert (
+            frontend.record_for(tasks[0].task_id).outcome
+            is RequestOutcome.SHED
+        )
+        assert (
+            frontend.record_for(tasks[2].task_id).outcome
+            is RequestOutcome.PENDING
+        )
+
+    def test_token_bucket_gates_admission(self, catalog):
+        _, _, frontend = _frontend(
+            catalog, admission_rate_per_s=10.0, admission_burst=2.0
+        )
+        tasks = _requests(4)
+        admitted = [frontend.admit(task, 0.0) for task in tasks]
+        assert admitted == [True, True, False, False]
+        assert frontend.stats.shed == 2
+
+    def test_shed_requests_surface_in_controller_stats(self, catalog):
+        _, system, frontend = _frontend(catalog, max_queue_depth=1)
+        for task in _requests(3):
+            frontend.admit(task, 0.0)
+        assert system.controller.stats.requests_shed == 2
+
+
+class TestDeadlines:
+    def test_expired_request_never_occupies_a_board(self, catalog):
+        cluster, system, frontend = _frontend(
+            catalog, breaker_enabled=False, retry_budget=100,
+            retry_base_s=0.05, retry_jitter=0.0,
+        )
+        for board in cluster.boards.values():
+            board.set_health(BoardHealth.FAILED)
+        simulator = ClusterSimulator(frontend, "expiry")
+        tasks = _requests(4, deadline_s=0.005)
+        result = simulator.run(tasks)
+        assert not result.completed
+        assert len(result.dropped) == 4
+        assert frontend.stats.expired == 4
+        assert all(task.start_s < 0 for task in result.dropped)
+        for task in tasks:
+            record = frontend.record_for(task.task_id)
+            assert record.outcome is RequestOutcome.EXPIRED
+            assert not record.started
+        assert system.controller.stats.requests_expired == 4
+
+    def test_expiry_is_an_exact_event_not_a_poll(self, catalog):
+        cluster, _, frontend = _frontend(catalog, breaker_enabled=False)
+        for board in cluster.boards.values():
+            board.set_health(BoardHealth.FAILED)
+        simulator = ClusterSimulator(frontend, "expiry-exact")
+        deadline = 0.040
+        result = simulator.run(_requests(1, deadline_s=deadline))
+        # The run ends at the deadline wake, not at an idle-retry guess.
+        assert result.makespan_s == pytest.approx(deadline)
+
+    def test_default_deadline_granted_to_plain_tasks(self, catalog):
+        _, _, frontend = _frontend(catalog, default_deadline_s=0.3)
+        task = Task(task_id=0, model_key="gru-h512-t1", arrival_s=1.0,
+                    size_class="S")
+        frontend.admit(task, 1.0)
+        assert frontend.record_for(0).deadline_s == pytest.approx(1.3)
+
+
+class TestRetryBudget:
+    def test_placement_failures_consume_the_budget(self, catalog):
+        cluster, system, frontend = _frontend(
+            catalog, breaker_enabled=False, retry_budget=2,
+            default_deadline_s=30.0, retry_jitter=0.0,
+        )
+        for board in cluster.boards.values():
+            board.set_health(BoardHealth.FAILED)
+        simulator = ClusterSimulator(frontend, "abandon")
+        tasks = _requests(1)
+        result = simulator.run(tasks)
+        assert not result.completed
+        record = frontend.record_for(0)
+        assert record.outcome is RequestOutcome.ABANDONED
+        assert record.attempts == 3  # budget of 2 + the final straw
+        assert frontend.stats.placement_retries == 2
+        assert frontend.stats.abandoned == 1
+        assert system.controller.stats.requests_abandoned == 1
+
+    def test_waiting_for_busy_deployment_costs_nothing(self, catalog):
+        _, _, frontend = _frontend(catalog, default_deadline_s=30.0)
+        simulator = ClusterSimulator(frontend, "busy-wait")
+        # Far more same-model requests than replicas: the later ones wait
+        # behind busy deployments, which is queueing, not failure.
+        result = simulator.run(_requests(8, gap_s=0.0))
+        assert len(result.completed) == 8
+        assert frontend.stats.abandoned == 0
+        for task_id in range(8):
+            assert frontend.record_for(task_id).attempts == 0
+
+    def test_backoff_is_jittered_and_bounded(self, catalog):
+        params = ServingParameters(retry_jitter=0.5, retry_base_s=0.002)
+        _, _, frontend = _frontend(
+            catalog, retry_jitter=0.5, retry_base_s=0.002
+        )
+        base = params.backoff_s(1)
+        record_delays = []
+        for _ in range(20):
+            jitter = params.retry_jitter
+            draw = frontend._rng.random()
+            record_delays.append(base * (1 - jitter + 2 * jitter * draw))
+        assert all(
+            0.5 * base <= delay <= 1.5 * base for delay in record_delays
+        )
+        assert len(set(record_delays)) > 1
+
+
+class TestCircuitBreakerUnit:
+    def test_opens_at_threshold_mass(self):
+        breaker = CircuitBreaker("b0", ServingParameters())
+        assert not breaker.record_failure(0.0)  # mass 1.0 < 2.0
+        assert breaker.record_failure(0.1)  # mass 2.0 -> OPEN
+        assert breaker.state is BreakerState.OPEN
+
+    def test_window_forgets_old_failures(self):
+        breaker = CircuitBreaker(
+            "b0", ServingParameters(breaker_window_s=0.5)
+        )
+        breaker.record_failure(0.0)
+        assert not breaker.record_failure(1.0)  # first sample expired
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_slow_completions_weigh_half(self):
+        breaker = CircuitBreaker("b0", ServingParameters())
+        for _ in range(3):
+            assert not breaker.record_slow(0.1)
+        assert breaker.record_slow(0.1)  # 4 * 0.5 = 2.0 -> OPEN
+
+    def test_half_open_probe_closes_after_budget(self):
+        params = ServingParameters(breaker_probe_budget=2)
+        breaker = CircuitBreaker("b0", params)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.half_open()
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.record_success(0.3)
+        assert breaker.record_success(0.4)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_opens == 0
+
+    def test_failed_probe_reopens_with_doubled_cooldown(self):
+        breaker = CircuitBreaker(
+            "b0", ServingParameters(breaker_cooldown_s=0.2)
+        )
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        first_cooldown = breaker.cooldown_s()
+        breaker.half_open()
+        assert breaker.record_failure(0.5)  # failed probe: straight open
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.cooldown_s() == pytest.approx(2 * first_cooldown)
+
+    def test_cooldown_growth_is_capped(self):
+        breaker = CircuitBreaker(
+            "b0", ServingParameters(breaker_cooldown_s=0.2)
+        )
+        for _ in range(10):
+            breaker.record_failure(0.0)
+            breaker.record_failure(0.0)
+            breaker.half_open()
+        assert breaker.cooldown_s() == pytest.approx(0.2 * 8)
+
+
+class TestCircuitBreakerIntegration:
+    def test_repeated_board_failures_open_and_drain(self, catalog):
+        cluster, system, frontend = _frontend(
+            catalog, breaker_threshold=2.0, breaker_window_s=5.0,
+            breaker_cooldown_s=10.0, default_deadline_s=30.0,
+        )
+        simulator = ClusterSimulator(frontend, "breaker-drain")
+        injector = FaultInjector(simulator, system.controller)
+        # Two hard failures on one board inside the window: breaker opens
+        # on the second and holds the board drained past its repair.
+        injector.fail_board("vu37p-0", at=0.001, repair_after=0.002)
+        injector.fail_board("vu37p-0", at=0.02, repair_after=0.002)
+        result = simulator.run(_requests(6, gap_s=0.01))
+        assert len(result.completed) == 6
+        breaker = frontend.breaker("vu37p-0")
+        assert frontend.stats.breaker_opens == 1
+        assert breaker.state in (BreakerState.OPEN, BreakerState.HALF_OPEN)
+
+    def test_all_breakers_open_fast_rejects(self, catalog):
+        cluster, _, frontend = _frontend(catalog)
+        for breaker in frontend._breakers.values():
+            breaker.record_failure(0.0)
+            breaker.record_failure(0.0)
+            assert breaker.state is BreakerState.OPEN
+        task = _requests(1)[0]
+        frontend.admit(task, 0.0)
+        assert frontend.try_start(task, 0.0) is None
+        assert frontend.stats.breaker_rejections == 1
+
+    def test_breaker_only_repairs_its_own_drain(self, catalog):
+        cluster, system, frontend = _frontend(
+            catalog, breaker_threshold=1.0, breaker_cooldown_s=0.01
+        )
+        board = cluster.board("vu37p-0")
+        # The injector (not the breaker) holds the board FAILED: the
+        # half-open probe must not flip it back to HEALTHY while the
+        # injector's repair is still pending.
+        simulator = ClusterSimulator(frontend, "no-repair")
+        injector = FaultInjector(simulator, system.controller)
+        injector.fail_board("vu37p-0", at=0.001, repair_after=5.0)
+        observed = []
+        simulator.schedule_external(
+            2.0, lambda now: observed.append(board.health)
+        )
+        simulator.run(_requests(3, gap_s=0.002, deadline_s=0.1))
+        assert observed == [BoardHealth.FAILED]
+        # After the injector's own repair the board is healthy again.
+        assert board.health is BoardHealth.HEALTHY
+
+
+class TestBrownout:
+    def test_prefer_narrow_reorders_plan_choice(self, catalog):
+        _, system, _ = _frontend(catalog)
+        controller = system.controller
+        controller.prefer_narrow = True
+        deployment, _ = controller.deploy("lstm-h512-t25", now=0.0)
+        narrow = min(
+            catalog.entry_by_key("lstm-h512-t25").sorted_plans(),
+            key=controller.plan_footprint,
+        )
+        assert (
+            controller.plan_footprint(deployment.plan)
+            == controller.plan_footprint(narrow)
+        )
+
+    def test_switch_plan_shrinks_an_idle_deployment(self, catalog):
+        _, system, frontend = _frontend(catalog)
+        controller = system.controller
+        plans = catalog.entry_by_key("gru-h512-t1").sorted_plans()
+        wide = max(plans, key=controller.plan_footprint)
+        narrow = min(plans, key=controller.plan_footprint)
+        deployment, _ = controller.place_plan(wide, now=0.0)
+        frontend._switch_plan(deployment, narrow, now=0.0)
+        assert frontend.stats.brownout_switches == 1
+        replacement = controller.find_idle_deployment("gru-h512-t1")
+        assert (
+            controller.plan_footprint(replacement.plan)
+            == controller.plan_footprint(narrow)
+        )
+        assert controller.index.check_consistent()
+
+    def test_watermark_hysteresis(self, catalog):
+        cluster, system, frontend = _frontend(
+            catalog, brownout_high_watermark=0.5, brownout_low_watermark=0.3
+        )
+        controller = system.controller
+        total = sum(len(board.blocks) for board in cluster.boards.values())
+        # Fill 60% of the cluster with a blocker: enters brownout.
+        blocked = int(0.6 * total)
+        remaining = blocked
+        for board in cluster.boards.values():
+            take = min(remaining, board.free_blocks)
+            if take:
+                board.allocate("blocker", take)
+            remaining -= take
+        frontend._update_brownout(0.0)
+        assert frontend.brownout
+        assert controller.prefer_narrow
+        # Drain it: exits at the low watermark.
+        for board in cluster.boards.values():
+            if "blocker" in board.owners():
+                board.release("blocker")
+        frontend._update_brownout(1.0)
+        assert not frontend.brownout
+        assert not controller.prefer_narrow
+        assert frontend.stats.brownout_entries == 1
+        assert frontend.stats.brownout_exits == 1
+
+
+class TestArrivalProcesses:
+    def test_mmpp_is_deterministic_and_ordered(self):
+        first = mmpp_arrivals(200, 100.0, seed=3)
+        second = mmpp_arrivals(200, 100.0, seed=3)
+        assert first == second
+        assert all(b > a for a, b in zip(first, first[1:]))
+        assert mmpp_arrivals(200, 100.0, seed=4) != first
+
+    def test_mmpp_preserves_mean_rate(self):
+        arrivals = mmpp_arrivals(8000, 100.0, seed=1)
+        observed = len(arrivals) / arrivals[-1]
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        arrivals = mmpp_arrivals(4000, 100.0, seed=2, burst_ratio=8.0)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        # Poisson gaps have CV^2 = 1; an MMPP is over-dispersed.
+        assert var / mean**2 > 1.2
+
+    def test_diurnal_is_deterministic_and_rate_preserving(self):
+        first = diurnal_arrivals(4000, 100.0, seed=5)
+        assert first == diurnal_arrivals(4000, 100.0, seed=5)
+        assert all(b > a for a, b in zip(first, first[1:]))
+        observed = len(first) / first[-1]
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            mmpp_arrivals(10, 100.0, burst_ratio=0.5)
+        with pytest.raises(ReproError):
+            diurnal_arrivals(10, 100.0, amplitude=1.5)
+        with pytest.raises(ReproError):
+            mmpp_arrivals(0, 100.0)
+
+
+class TestRecoveryBackoffSurfacing:
+    def test_abandonment_emits_structured_event(self, catalog):
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog, recovery=True)
+        controller = system.controller
+        cluster.board("ku115-0").allocate("blocker", 10)
+        cluster.board("vu37p-1").allocate("blocker", 14)
+        cluster.board("vu37p-2").allocate("blocker", 14)
+        controller.deploy("lstm-h512-t25", now=0.0)
+        controller.on_board_failure(cluster.board("vu37p-0"), now=0.01)
+        # Synchronous path: no simulator, so the retry is abandoned
+        # immediately and the structured event records why.
+        events = [
+            event
+            for event in controller.events
+            if isinstance(event, RecoveryAbandoned)
+        ]
+        assert len(events) == 1
+        assert events[0].model_key == "lstm-h512-t25"
+        assert events[0].reason == "no-simulator"
+        assert events[0].at_s == pytest.approx(0.01)
+
+    def test_backoff_schedule_is_capped_and_surfaced(self, catalog):
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog, recovery=True)
+        manager = system.controller.recovery
+        schedule = manager.backoff_schedule()
+        assert len(schedule) == manager.params.max_retries
+        assert schedule[0] == manager.params.retry_base_s
+        assert schedule[-1] == manager.params.retry_cap_s
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    def test_event_buffer_is_bounded(self, catalog):
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog)
+        controller = system.controller
+        controller.max_events = 10
+        for index in range(25):
+            controller.emit_event(index)
+        assert len(controller.events) == 10
+        assert controller.events == list(range(15, 25))
+
+
+class TestOffByDefault:
+    def test_no_frontend_means_no_serving_counters(self, catalog):
+        cluster = paper_cluster()
+        system = build_system("proposed", cluster, catalog)
+        simulator = ClusterSimulator(system, "plain")
+        tasks = [
+            Task(task_id=index, model_key="gru-h512-t1",
+                 arrival_s=index * 0.001, size_class="S")
+            for index in range(5)
+        ]
+        result = simulator.run(tasks)
+        assert len(result.completed) == 5
+        assert result.dropped == []
+        stats = system.controller.stats
+        assert stats.requests_shed == 0
+        assert stats.requests_expired == 0
+        assert stats.requests_abandoned == 0
+        assert stats.breaker_rejections == 0
+        assert stats.brownout_switches == 0
