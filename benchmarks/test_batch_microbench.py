@@ -1,0 +1,123 @@
+"""Microbenchmarks of the batch-axis hot paths behind
+:mod:`repro.accel.batched`: the vectorized sigmoid, blockwise BFP
+quantisation over ``(batch, length)`` stacks and ``(rows, cols)``
+matrices, the guarded one-dgemm MV_MUL against per-lane dgemv, and the
+end-to-end batched-vs-scalar RNN run.
+
+All inputs come from explicitly seeded generators and every benchmark
+asserts output shapes (and, where the contract demands it, bitwise
+equality), so timings double as correctness checks and re-runs measure
+identical work.
+"""
+
+import numpy as np
+
+from repro.accel.batched import BatchedFunctionalSimulator, run_batched
+from repro.accel.codegen import OUT_BASE, RNNWeights, make_codegen
+from repro.accel.functional import FunctionalSimulator, _sigmoid
+from repro.isa.bfp import DEFAULT_FORMAT, bfp_matvec, bfp_quantize
+from repro.isa.instructions import halt
+from repro.isa.program import Program
+
+SEED = 0
+BATCH = 32
+LENGTH = 1024
+ROWS, COLS = 256, 256
+
+
+def _stack(seed: int = SEED, batch: int = BATCH, length: int = LENGTH):
+    return np.random.default_rng(seed).normal(0.0, 1.0, (batch, length))
+
+
+def test_sigmoid_batch_axis(benchmark):
+    stack = _stack()
+    out = benchmark(_sigmoid, stack)
+    assert out.shape == (BATCH, LENGTH)
+    # The batched stack computes exactly the per-lane values.
+    assert np.array_equal(out[3], _sigmoid(stack[3]))
+
+
+def test_bfp_quantize_batch_axis(benchmark):
+    stack = _stack(seed=1)
+    out = benchmark(bfp_quantize, stack, DEFAULT_FORMAT)
+    assert out.shape == (BATCH, LENGTH)
+    assert np.array_equal(out[5], bfp_quantize(stack[5], DEFAULT_FORMAT))
+
+
+def test_bfp_quantize_matrix(benchmark):
+    matrix = np.random.default_rng(2).normal(0.0, 1.0, (ROWS, COLS))
+    out = benchmark(bfp_quantize, matrix, DEFAULT_FORMAT)
+    assert out.shape == (ROWS, COLS)
+
+
+def test_guarded_batched_matvec(benchmark):
+    """One dgemm + rounding-boundary guard for the whole batch."""
+    rng = np.random.default_rng(3)
+    matrix = bfp_quantize(rng.normal(0.0, 1.0, (ROWS, COLS)), DEFAULT_FORMAT)
+    row_abs = np.abs(matrix).sum(axis=1)
+    vecs = rng.normal(0.0, 1.0, (BATCH, COLS))
+    sim = BatchedFunctionalSimulator(Program([halt()]), batch=BATCH)
+    out = benchmark(sim._matvec_shared, matrix, row_abs, vecs)
+    assert out.shape == (BATCH, ROWS)
+    for lane in (0, BATCH // 2, BATCH - 1):
+        want = bfp_matvec(matrix, vecs[lane], DEFAULT_FORMAT)
+        assert np.array_equal(
+            out[lane].astype(np.float16), want.astype(np.float16)
+        )
+
+
+def test_per_lane_matvec_reference(benchmark):
+    """The N-dgemv baseline the guarded dgemm amortises."""
+    rng = np.random.default_rng(3)
+    matrix = bfp_quantize(rng.normal(0.0, 1.0, (ROWS, COLS)), DEFAULT_FORMAT)
+    vecs = rng.normal(0.0, 1.0, (BATCH, COLS))
+
+    def per_lane():
+        return np.stack(
+            [bfp_matvec(matrix, vecs[i], DEFAULT_FORMAT) for i in range(BATCH)]
+        )
+
+    out = benchmark(per_lane)
+    assert out.shape == (BATCH, ROWS)
+
+
+def _rnn_fixture(batch: int):
+    weights = RNNWeights.random("lstm", 64, seed=SEED)
+    gen = make_codegen("lstm", weights, 8)
+    program = gen.build()
+    rng = np.random.default_rng(4)
+    payloads = [rng.normal(0.0, 0.5, (8, 64)) for _ in range(batch)]
+    return gen, program, payloads
+
+
+def test_batched_rnn_run(benchmark):
+    gen, program, payloads = _rnn_fixture(16)
+
+    def run():
+        return run_batched(
+            program,
+            [
+                (lambda xs: (lambda v: gen.preload_inputs(v, xs)))(xs)
+                for xs in payloads
+            ],
+            shared_preload=gen.preload_weights,
+        )
+
+    lanes = benchmark(run)
+    assert lanes.dram_read(OUT_BASE, 64).shape == (16, 64)
+
+
+def test_scalar_rnn_run_reference(benchmark):
+    gen, program, payloads = _rnn_fixture(16)
+
+    def run():
+        outputs = []
+        for xs in payloads:
+            sim = FunctionalSimulator(program)
+            gen.preload(sim, xs)
+            sim.run()
+            outputs.append(sim.dram.read(OUT_BASE, 64))
+        return np.stack(outputs)
+
+    out = benchmark(run)
+    assert out.shape == (16, 64)

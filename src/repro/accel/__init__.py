@@ -12,6 +12,8 @@ depending on the target FPGA.
 * :mod:`~repro.accel.generator`  — builds the structural RTL design.
 * :mod:`~repro.accel.codegen`    — emits LSTM/GRU ISA programs.
 * :mod:`~repro.accel.functional` — executes ISA programs (numpy + BFP).
+* :mod:`~repro.accel.batched`    — N-wide lockstep execution of identical
+  deployments (leading batch axis over the architectural state).
 * :mod:`~repro.accel.timing`     — the cycle-level latency model.
 """
 
@@ -19,12 +21,20 @@ from .config import AcceleratorConfig, MemoryPlan, BW_V37, BW_K115, scaled_confi
 from .generator import generate_accelerator, CONTROL_MODULES
 from .codegen import GRUCodegen, LSTMCodegen, RNNWeights
 from .functional import FunctionalSimulator, ScaleOutFabric, run_program
+from .batched import (
+    BatchedDRAM,
+    BatchedFunctionalSimulator,
+    run_batched,
+    run_scaleout_batched,
+)
 from .timing import CycleModel, TimingParameters
 
 __all__ = [
     "AcceleratorConfig",
     "BW_K115",
     "BW_V37",
+    "BatchedDRAM",
+    "BatchedFunctionalSimulator",
     "CONTROL_MODULES",
     "CycleModel",
     "FunctionalSimulator",
@@ -35,6 +45,8 @@ __all__ = [
     "ScaleOutFabric",
     "TimingParameters",
     "generate_accelerator",
+    "run_batched",
     "run_program",
+    "run_scaleout_batched",
     "scaled_config",
 ]

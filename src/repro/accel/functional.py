@@ -35,6 +35,8 @@ class DRAM:
         self._data = np.zeros(initial_words, dtype=np.float64)
 
     def _ensure(self, words: int) -> None:
+        # Geometric (doubling) growth: amortises incremental writes at
+        # increasing addresses to O(n) total copy instead of O(n^2).
         if words > self._data.size:
             grown = np.zeros(max(words, self._data.size * 2), dtype=np.float64)
             grown[: self._data.size] = self._data
@@ -46,8 +48,16 @@ class DRAM:
         self._data[addr : addr + values.size] = values
 
     def read(self, addr: int, length: int) -> np.ndarray:
-        self._ensure(addr + length)
-        return self._data[addr : addr + length].copy()
+        # Reads never allocate: words beyond the written extent are zero
+        # (the value they would have after _ensure) without growing the
+        # backing store.
+        if addr + length <= self._data.size:
+            return self._data[addr : addr + length].copy()
+        out = np.zeros(length, dtype=np.float64)
+        have = max(0, self._data.size - addr)
+        if have:
+            out[:have] = self._data[addr : addr + have]
+        return out
 
 
 @dataclass
@@ -97,11 +107,13 @@ class ScaleOutFabric:
         round_index = self._recv_round.get((addr, replica), 0)
         if any(len(queue) <= round_index for queue in queues):
             return None
-        combined = np.concatenate([queue[round_index] for queue in queues])
-        if combined.size != full_length:
+        # Last-axis concatenation handles both scalar (length,) slices and
+        # batched (batch, length) slices from the batched simulator.
+        combined = np.concatenate([queue[round_index] for queue in queues], axis=-1)
+        if combined.shape[-1] != full_length:
             raise ExecutionError(
-                f"sync combine produced {combined.size} words, reader expected "
-                f"{full_length}"
+                f"sync combine produced {combined.shape[-1]} words, reader "
+                f"expected {full_length}"
             )
         self._recv_round[(addr, replica)] = round_index + 1
         return combined

@@ -44,6 +44,13 @@ class Task:
     size_class: str = ""
     start_s: float = -1.0
     finish_s: float = -1.0
+    #: Optional functional-execution input stream ``(timesteps, input_dim)``.
+    #: Consumed by the request-coalescing executor
+    #: (:mod:`repro.runtime.batching`); ``None`` means a deterministic
+    #: per-task stream is generated on demand.  Ignored by pure-timing runs.
+    payload: object = None
+    #: Final hidden state once a batch executor has run this task.
+    output: object = None
 
     @property
     def latency_s(self) -> float:

@@ -20,6 +20,16 @@ points below the committed baseline.  Refresh that baseline with::
 
     PYTHONPATH=src python -m repro.experiments.bench_serving --smoke \
         --output benchmarks/baselines/BENCH_serving_smoke.json
+
+And (optionally, via ``--batch-current``) the batched-simulation smoke
+report: batched outputs must stay bit-identical to scalar, the gate
+point's speedup floor must hold, and the measured batched-vs-scalar
+speedup may not drop more than 25% below the committed baseline.  The
+speedup is a within-run ratio, so this gate is insensitive to absolute
+runner speed.  Refresh with::
+
+    PYTHONPATH=src python -m repro.experiments.bench_batch --smoke \
+        --output benchmarks/baselines/BENCH_batch_smoke.json
 """
 
 from __future__ import annotations
@@ -36,6 +46,10 @@ SERVING_BASELINE = "benchmarks/baselines/BENCH_serving_smoke.json"
 #: Allowed drop in admitted-request SLO attainment at the gate point
 #: (5 percentage points).
 SLO_DROP_TOLERANCE = 0.05
+
+BATCH_BASELINE = "benchmarks/baselines/BENCH_batch_smoke.json"
+#: Allowed fractional drop in batched-vs-scalar speedup at the gate batch.
+BATCH_SPEEDUP_DROP_TOLERANCE = 0.25
 
 #: Deterministic work counters (exact comparison, warnings only).
 COUNTER_KEYS = (
@@ -139,6 +153,64 @@ def compare_serving(
     return failures, warnings
 
 
+def compare_batch(
+    current: dict,
+    baseline: dict,
+    drop_tolerance: float = BATCH_SPEEDUP_DROP_TOLERANCE,
+) -> tuple:
+    """Batched-throughput regression gate: ``(failures, warnings)``.
+
+    Hard failures: any non-bit-identical point (the batched path's
+    correctness contract), the gate point's absolute speedup floor no
+    longer holding, or a per-model speedup more than ``drop_tolerance``
+    below the committed baseline.
+    """
+    failures: list = []
+    warnings: list = []
+    cur_scale = current["scale"]
+    base_scale = baseline["scale"]
+    if (
+        cur_scale["requests"] != base_scale["requests"]
+        or cur_scale["models"] != base_scale["models"]
+    ):
+        failures.append(
+            f"batch scale mismatch: current {cur_scale} vs baseline "
+            f"{base_scale} — comparing different workloads"
+        )
+        return failures, warnings
+    cur_gate = current["gate"]
+    base_gate = baseline["gate"]
+    if not cur_gate["bit_identical"]:
+        failures.append(
+            "batched outputs no longer bit-identical to the scalar "
+            "simulator (see the report's per-point bit_identical flags)"
+        )
+    if not cur_gate["pass"]:
+        failures.append(
+            f"batch gate point failed outright: speedups "
+            f"{cur_gate['speedups']} (floor {cur_gate['speedup_floor']}x "
+            f"at batch {cur_gate['batch']})"
+        )
+    for model, base_speedup in base_gate["speedups"].items():
+        cur_speedup = cur_gate["speedups"].get(model)
+        if cur_speedup is None:
+            failures.append(f"batch gate lost model {model}")
+            continue
+        floor = base_speedup * (1.0 - drop_tolerance)
+        if cur_speedup < floor:
+            failures.append(
+                f"batched speedup regression on {model}: "
+                f"{cur_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+                f"(floor {floor:.2f}x at {drop_tolerance * 100:.0f}% drop)"
+            )
+        else:
+            warnings.append(
+                f"batched speedup on {model}: {cur_speedup:.2f}x vs "
+                f"baseline {base_speedup:.2f}x — within tolerance"
+            )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_fig12.json",
@@ -153,6 +225,11 @@ def main(argv=None) -> int:
                         "(omit to skip the serving gate)")
     parser.add_argument("--serving-baseline", default=SERVING_BASELINE,
                         help="committed serving reference report")
+    parser.add_argument("--batch-current", default=None,
+                        help="freshly produced batched-simulation smoke "
+                        "report (omit to skip the batch gate)")
+    parser.add_argument("--batch-baseline", default=BATCH_BASELINE,
+                        help="committed batched-simulation reference report")
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -169,6 +246,16 @@ def main(argv=None) -> int:
         )
         failures.extend(serving_failures)
         warnings.extend(serving_warnings)
+    if args.batch_current:
+        batch_current = json.loads(pathlib.Path(args.batch_current).read_text())
+        batch_baseline = json.loads(
+            pathlib.Path(args.batch_baseline).read_text()
+        )
+        batch_failures, batch_warnings = compare_batch(
+            batch_current, batch_baseline
+        )
+        failures.extend(batch_failures)
+        warnings.extend(batch_warnings)
     for message in warnings:
         print(f"[warn] {message}")
     for message in failures:

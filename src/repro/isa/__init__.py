@@ -27,6 +27,7 @@ from .encoder import decode_program, encode_program
 from .bfp import BFPFormat, bfp_quantize, bfp_dequantize
 from .dependencies import DependenceGraph, build_dependence_graph
 from .comm_insertion import insert_scaleout_communication
+from .progcache import PROGRAM_CACHE, ProgramCache, program_cache_key
 from .reorder import reorder_for_overlap
 
 __all__ = [
@@ -34,7 +35,9 @@ __all__ = [
     "DependenceGraph",
     "Instruction",
     "Op",
+    "PROGRAM_CACHE",
     "Program",
+    "ProgramCache",
     "SYNC_ADDRESS",
     "assemble",
     "bfp_dequantize",
@@ -44,5 +47,6 @@ __all__ = [
     "disassemble",
     "encode_program",
     "insert_scaleout_communication",
+    "program_cache_key",
     "reorder_for_overlap",
 ]

@@ -15,6 +15,7 @@
 """
 
 from .api import ClusterStatus, HypervisorAPI, TaskHandle
+from .batching import BatchExecutor, BatchingParameters, BatchingStats
 from .catalog import Catalog, CatalogEntry, DeploymentPlan, ReplicaImage
 from .deployment import Deployment, DeploymentState
 from .controller import SystemController, PlacementPolicy, PlanOrder
@@ -22,6 +23,9 @@ from .systems import BaselineSystem, ProposedSystem, RestrictedSystem, build_sys
 
 __all__ = [
     "BaselineSystem",
+    "BatchExecutor",
+    "BatchingParameters",
+    "BatchingStats",
     "ClusterStatus",
     "HypervisorAPI",
     "TaskHandle",

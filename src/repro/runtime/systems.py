@@ -40,7 +40,8 @@ class ProposedSystem:
     def __init__(self, cluster: FPGACluster, catalog: Catalog,
                  timing: TimingParameters = DEFAULT_TIMING,
                  defrag: bool = False, migration_params=None,
-                 recovery: bool = False, recovery_params=None):
+                 recovery: bool = False, recovery_params=None,
+                 batching=None):
         self.cluster = cluster
         self.controller = SystemController(
             cluster,
@@ -53,6 +54,19 @@ class ProposedSystem:
             recovery_enabled=recovery,
             recovery_params=recovery_params,
         )
+        #: Optional request-coalescing functional executor
+        #: (:class:`repro.runtime.batching.BatchExecutor`).  Off by
+        #: default: pure-timing runs never touch the functional simulator,
+        #: and timestamps are identical either way — batching only decides
+        #: *how* task outputs are computed, never *when* events fire.
+        self.batch_executor = None
+        if batching is not None:
+            from .batching import BatchExecutor, BatchingParameters
+
+            if isinstance(batching, BatchingParameters):
+                self.batch_executor = BatchExecutor(batching)
+            else:
+                self.batch_executor = batching
         self._running: dict[int, object] = {}
         #: Set when a :class:`~repro.cluster.simulator.ClusterSimulator`
         #: adopts this scheduler; migrations become first-class DES events.
@@ -151,10 +165,17 @@ class ProposedSystem:
             self.controller.stats.reuse_hits += 1
         deployment.acquire()
         self._running[task.task_id] = deployment
+        if self.batch_executor is not None:
+            self.batch_executor.submit(task, deployment.plan.replicas, now)
         return reconfig + deployment.service_s
 
     def on_finish(self, task: Task, now: float) -> None:
         deployment = self._running.pop(task.task_id)
+        if self.batch_executor is not None:
+            # The task's output must exist by the time its completion is
+            # observable; a still-waiting group executes now (scalar
+            # fallback when it degenerated to one lane).
+            self.batch_executor.ensure_executed(task)
         self.controller.release(deployment, now)
 
     # -- defragmentation (migration subsystem; off unless ``defrag=True``) ---------
@@ -423,13 +444,16 @@ def build_system(
     defrag: bool = False,
     recovery: bool = False,
     recovery_params=None,
+    batching=None,
 ):
     """Factory over the three evaluated systems.
 
     ``defrag=True`` arms the checkpoint/restore + migration subsystem on
     the framework systems (the baseline has no virtualization layer to
     migrate through); ``recovery=True`` arms checkpoint-based failure
-    recovery (:mod:`repro.faults`).  The defaults keep schedules
+    recovery (:mod:`repro.faults`); ``batching`` (a
+    :class:`repro.runtime.batching.BatchingParameters`) arms the
+    request-coalescing functional executor.  The defaults keep schedules
     bit-identical to the pre-migration, pre-faults implementation.
     """
     if name == "baseline":
@@ -438,8 +462,10 @@ def build_system(
         raise ReproError(f"system {name!r} needs a catalog")
     if name == "proposed":
         return ProposedSystem(cluster, catalog, timing, defrag=defrag,
-                              recovery=recovery, recovery_params=recovery_params)
+                              recovery=recovery, recovery_params=recovery_params,
+                              batching=batching)
     if name == "restricted":
         return RestrictedSystem(cluster, catalog, timing, defrag=defrag,
-                                recovery=recovery, recovery_params=recovery_params)
+                                recovery=recovery, recovery_params=recovery_params,
+                                batching=batching)
     raise ReproError(f"unknown system {name!r}")

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..accel.codegen import RNNWeights, make_codegen
 from ..errors import ReproError
+from ..isa.progcache import PROGRAM_CACHE, program_cache_key
 from ..isa.program import Program
 
 
@@ -78,14 +79,32 @@ class ModelSpec:
         )
 
     def program(self, replicas: int = 1, replica_index: int = 0) -> Program:
-        """The ISA program for one (possibly scaled-down) replica."""
-        return make_codegen(
+        """The ISA program for one (possibly scaled-down) replica.
+
+        Memoised in :data:`repro.isa.progcache.PROGRAM_CACHE`: codegen
+        output depends only on the configuration, so repeat deployments of
+        the same model skip it (the returned program is a shallow copy —
+        mutate freely).
+        """
+        key = program_cache_key(
             self.kind,
-            self.metadata_weights(),
+            self.hidden,
+            self.effective_input_dim,
             self.timesteps,
             replicas=replicas,
             replica_index=replica_index,
-        ).build()
+            stage="template",
+        )
+        return PROGRAM_CACHE.get(
+            key,
+            lambda: make_codegen(
+                self.kind,
+                self.metadata_weights(),
+                self.timesteps,
+                replicas=replicas,
+                replica_index=replica_index,
+            ).build(),
+        )
 
     def real_weights(self, seed: int = 0) -> RNNWeights:
         """Actual random tensors (functional simulation only — large!)."""

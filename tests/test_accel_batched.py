@@ -1,0 +1,473 @@
+"""Batched-simulator tests: the bit-identity contract against the scalar
+simulator (model zoo configs and randomized property-style programs), the
+paged copy-on-diverge :class:`BatchedDRAM`, the MV_MUL rounding-boundary
+guard, fallback paths (batch=1, ``force_scalar``) and batched scale-out."""
+
+import numpy as np
+import pytest
+
+from repro.accel.batched import (
+    PAGE_WORDS,
+    BatchedDRAM,
+    BatchedFunctionalSimulator,
+    _gamma,
+    run_batched,
+    run_scaleout_batched,
+)
+from repro.accel.codegen import (
+    OUT_BASE,
+    RNNWeights,
+    build_scaleout_programs,
+    make_codegen,
+)
+from repro.accel.functional import FunctionalSimulator, run_program, run_scaleout
+from repro.errors import ExecutionError
+from repro.isa.bfp import DEFAULT_FORMAT, bfp_matvec, bfp_quantize
+from repro.isa.instructions import (
+    Instruction,
+    Op,
+    endloop,
+    halt,
+    loop,
+    mv_mul,
+    v_concat,
+    v_copy,
+    v_fill,
+    v_rd,
+    v_relu,
+    v_sigm,
+    v_slice,
+    v_tanh,
+    v_wr,
+    vv_add,
+    vv_mul,
+    vv_sub,
+)
+from repro.isa.program import Program
+from repro.workloads.deepbench import model_by_key
+
+
+class TestBatchedDRAM:
+    def test_broadcast_write_stays_shared(self):
+        dram = BatchedDRAM(4)
+        dram.write(100, np.arange(8.0))
+        # One shared page, no lane copies.
+        assert dram.resident_bytes == PAGE_WORDS * 8
+        assert np.array_equal(dram.read_shared(100, 8), np.arange(8.0))
+        stacked = dram.read(100, 8)
+        assert stacked.shape == (4, 8)
+        assert np.array_equal(stacked, np.tile(np.arange(8.0), (4, 1)))
+
+    def test_lane_write_promotes_page(self):
+        dram = BatchedDRAM(3)
+        dram.write(0, np.ones(4))
+        dram.write(0, np.full(4, 9.0), lane=1)
+        # The touched page diverged: read_shared degrades to the stack.
+        assert dram.read_shared(0, 4).shape == (3, 4)
+        assert np.array_equal(dram.lane_read(0, 0, 4), np.ones(4))
+        assert np.array_equal(dram.lane_read(1, 0, 4), np.full(4, 9.0))
+        assert np.array_equal(dram.lane_read(2, 0, 4), np.ones(4))
+        assert dram.resident_bytes == PAGE_WORDS * 3 * 8
+
+    def test_per_lane_stack_write(self):
+        dram = BatchedDRAM(2)
+        dram.write(10, np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert np.array_equal(dram.read(10, 2), [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_broadcast_after_divergence_hits_every_lane(self):
+        dram = BatchedDRAM(2)
+        dram.write(0, np.zeros(4), lane=0)  # diverge the page first
+        dram.write(0, np.arange(4.0))  # broadcast
+        assert np.array_equal(dram.lane_read(0, 0, 4), np.arange(4.0))
+        assert np.array_equal(dram.lane_read(1, 0, 4), np.arange(4.0))
+
+    def test_write_spanning_pages(self):
+        dram = BatchedDRAM(2, page_words=8)
+        values = np.arange(12.0)
+        dram.write(4, values)  # spans pages 0 and 1
+        assert np.array_equal(dram.read_shared(4, 12), values)
+        dram.write(4, values * 2, lane=1)
+        assert np.array_equal(dram.lane_read(1, 4, 12), values * 2)
+        assert np.array_equal(dram.lane_read(0, 4, 12), values)
+
+    def test_unwritten_reads_zero(self):
+        assert BatchedDRAM(2).read(123, 5).sum() == 0.0
+
+    def test_errors(self):
+        with pytest.raises(ExecutionError, match="positive batch"):
+            BatchedDRAM(0)
+        dram = BatchedDRAM(2)
+        with pytest.raises(ExecutionError, match="out of range"):
+            dram.write(0, np.ones(2), lane=5)
+        with pytest.raises(ExecutionError, match="out of range"):
+            dram.lane_read(2, 0, 4)
+        with pytest.raises(ExecutionError, match="negative"):
+            dram.read(-4, 4)
+        with pytest.raises(ExecutionError, match="lanes"):
+            dram.write(0, np.ones((3, 4)))
+
+
+def _scalar_lanes(program, shared_preload, lane_preloads):
+    """The reference: one scalar simulator per lane."""
+    sims = []
+    for preload in lane_preloads:
+        sim = FunctionalSimulator(program)
+        if shared_preload is not None:
+            shared_preload(sim)
+        preload(sim)
+        sim.run()
+        sims.append(sim)
+    return sims
+
+
+def _rnn_case(kind, hidden, timesteps, batch, seed):
+    weights = RNNWeights.random(kind, hidden, seed=seed)
+    gen = make_codegen(kind, weights, timesteps)
+    program = gen.build()
+    rng = np.random.default_rng(seed + 1)
+    payloads = [
+        rng.normal(0.0, 0.5, (timesteps, hidden)) for _ in range(batch)
+    ]
+    return gen, program, payloads
+
+
+class TestRNNEquivalence:
+    """The headline contract: batched outputs are *bitwise* the scalar
+    simulator's, across model-zoo-shaped configs."""
+
+    @pytest.mark.parametrize(
+        "kind,hidden,timesteps",
+        [
+            ("gru", 32, 4),
+            ("lstm", 32, 4),
+            ("gru", 48, 1),
+            ("lstm", 48, 3),
+            ("gru", 512, 1),  # a real zoo config (gru-h512-t1)
+        ],
+    )
+    def test_batched_equals_scalar_bitwise(self, kind, hidden, timesteps):
+        batch = 5
+        gen, program, payloads = _rnn_case(kind, hidden, timesteps, batch, seed=7)
+        lanes = run_batched(
+            program,
+            [(lambda xs: (lambda v: gen.preload_inputs(v, xs)))(xs) for xs in payloads],
+            shared_preload=gen.preload_weights,
+        )
+        assert not lanes.fallback
+        for index, xs in enumerate(payloads):
+            expected = run_program(
+                program, preload=lambda s, xs=xs: gen.preload(s, xs)
+            ).dram.read(OUT_BASE, hidden)
+            assert np.array_equal(
+                lanes.lane_dram_read(index, OUT_BASE, hidden), expected
+            )
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "model_key", ["lstm-h256-t150", "lstm-h512-t25"]
+    )
+    def test_zoo_models_bitwise(self, model_key):
+        spec = model_by_key(model_key)
+        weights = spec.real_weights(seed=0)
+        gen = make_codegen(spec.kind, weights, spec.timesteps)
+        program = gen.build()
+        rng = np.random.default_rng(3)
+        payloads = [
+            rng.normal(0.0, 1.0, (spec.timesteps, spec.effective_input_dim))
+            for _ in range(4)
+        ]
+        lanes = run_batched(
+            program,
+            [(lambda xs: (lambda v: gen.preload_inputs(v, xs)))(xs) for xs in payloads],
+            shared_preload=gen.preload_weights,
+        )
+        for index, xs in enumerate(payloads):
+            expected = run_program(
+                program, preload=lambda s, xs=xs: gen.preload(s, xs)
+            ).dram.read(OUT_BASE, spec.hidden)
+            assert np.array_equal(
+                lanes.lane_dram_read(index, OUT_BASE, spec.hidden), expected
+            )
+
+    def test_singleton_batch_falls_back(self):
+        gen, program, payloads = _rnn_case("gru", 32, 2, 1, seed=5)
+        lanes = run_batched(
+            program,
+            [lambda v: gen.preload_inputs(v, payloads[0])],
+            shared_preload=gen.preload_weights,
+        )
+        assert lanes.fallback
+        expected = run_program(
+            program, preload=lambda s: gen.preload(s, payloads[0])
+        ).dram.read(OUT_BASE, 32)
+        assert np.array_equal(lanes.lane_dram_read(0, OUT_BASE, 32), expected)
+
+    def test_force_scalar_falls_back_and_matches(self):
+        gen, program, payloads = _rnn_case("lstm", 32, 3, 4, seed=9)
+        preloads = [
+            (lambda xs: (lambda v: gen.preload_inputs(v, xs)))(xs) for xs in payloads
+        ]
+        fast = run_batched(program, preloads, shared_preload=gen.preload_weights)
+        slow = run_batched(
+            program, preloads, shared_preload=gen.preload_weights, force_scalar=True
+        )
+        assert not fast.fallback and slow.fallback
+        assert np.array_equal(
+            fast.dram_read(OUT_BASE, 32), slow.dram_read(OUT_BASE, 32)
+        )
+
+    def test_empty_batch_rejected(self):
+        _, program, _ = _rnn_case("gru", 32, 1, 2, seed=1)
+        with pytest.raises(ExecutionError, match="at least one lane"):
+            run_batched(program, [])
+
+    def test_stats_aggregate_over_lanes(self):
+        gen, program, payloads = _rnn_case("gru", 32, 2, 3, seed=2)
+        lanes = run_batched(
+            program,
+            [(lambda xs: (lambda v: gen.preload_inputs(v, xs)))(xs) for xs in payloads],
+            shared_preload=gen.preload_weights,
+        )
+        scalar = run_program(
+            program, preload=lambda s: gen.preload(s, payloads[0])
+        )
+        # One batched instruction stream, not batch copies of it.
+        assert lanes.stats.instructions == scalar.stats.instructions
+        assert lanes.stats.mv_muls == scalar.stats.mv_muls
+
+
+class TestRoundingBoundaryGuard:
+    def test_gamma_positive_and_monotonic(self):
+        assert 0.0 < _gamma(1) < _gamma(64) < _gamma(4096) < 1e-9
+
+    def test_forced_guard_recomputes_exactly(self):
+        """Inflating the error bound flags every element; the guard must
+        then reproduce the exact per-lane dgemv verbatim."""
+        rng = np.random.default_rng(0)
+        matrix = bfp_quantize(rng.normal(0.0, 1.0, (6, 8)), DEFAULT_FORMAT)
+        vecs = rng.normal(0.0, 1.0, (3, 8))
+        sim = BatchedFunctionalSimulator(Program([halt()]), batch=3)
+        inflated = np.abs(matrix).sum(axis=1) * 1e15
+        out = sim._matvec_shared(matrix, inflated, vecs)
+        assert sim.guard_recomputed == out.size
+        quantised = bfp_quantize(vecs, DEFAULT_FORMAT)
+        expected = np.stack([matrix @ quantised[lane] for lane in range(3)])
+        assert np.array_equal(out, expected)
+
+    def test_unflagged_dgemm_matches_scalar_after_fp16(self):
+        rng = np.random.default_rng(1)
+        matrix = bfp_quantize(rng.normal(0.0, 1.0, (16, 32)), DEFAULT_FORMAT)
+        vecs = rng.normal(0.0, 1.0, (8, 32))
+        sim = BatchedFunctionalSimulator(Program([halt()]), batch=8)
+        out = sim._matvec_shared(matrix, np.abs(matrix).sum(axis=1), vecs)
+        for lane in range(8):
+            want = bfp_matvec(matrix, vecs[lane], DEFAULT_FORMAT)
+            assert np.array_equal(
+                out[lane].astype(np.float16), want.astype(np.float16)
+            )
+
+
+def _random_program(rng):
+    """A type-correct random program plus its DRAM preload images.
+
+    Exercises V_RD/V_WR (plain and loop-strided), M_RD + MV_MUL (shared
+    and lane-divergent matrices), every MFU op, V_SLICE/V_CONCAT, and
+    nested register reuse — the batched simulator must track the scalar
+    one bitwise through all of it.
+    """
+    program = Program(name="prop")
+    lengths = {}
+
+    in_addr, mat_addr, stream_addr, out_addr = 0x100, 0x4000, 0x800, 0x6000
+    n_inputs = int(rng.integers(2, 4))
+    offset = 0
+    for reg in range(n_inputs):
+        length = int(rng.integers(4, 17))
+        program.append(v_rd(reg, in_addr + offset, length))
+        lengths[reg] = length
+        offset += length
+    total_in = offset
+    next_reg = n_inputs
+
+    # One matrix product: rows picked fresh, cols tied to an input register.
+    src = int(rng.integers(0, n_inputs))
+    rows, cols = int(rng.integers(3, 9)), lengths[src]
+    shared_matrix = bool(rng.integers(0, 2))
+    program.append(
+        Instruction(Op.M_RD, dst=0, addr=mat_addr, length=rows, imm=float(cols))
+    )
+    program.append(mv_mul(next_reg, 0, src, rows))
+    lengths[next_reg] = rows
+    next_reg += 1
+
+    # A loop with strided stream reads and writes.
+    iters, chunk = int(rng.integers(2, 5)), int(rng.integers(2, 6))
+    program.append(loop(iters))
+    program.append(
+        Instruction(Op.V_RD, dst=next_reg, addr=stream_addr, length=chunk,
+                    imm=float(chunk))
+    )
+    program.append(
+        Instruction(Op.V_WR, a=next_reg, addr=stream_addr + iters * chunk,
+                    length=chunk, imm=float(chunk))
+    )
+    program.append(endloop())
+    lengths[next_reg] = chunk
+    next_reg += 1
+
+    # Random MFU traffic over whatever is live.
+    for _ in range(int(rng.integers(6, 16))):
+        regs = list(lengths)
+        a = int(rng.choice(regs))
+        kind = int(rng.integers(0, 9))
+        if kind < 3:  # binary op needs two same-length operands
+            peers = [r for r in regs if lengths[r] == lengths[a]]
+            b = int(rng.choice(peers))
+            ctor = (vv_add, vv_sub, vv_mul)[kind]
+            program.append(ctor(next_reg, a, b, lengths[a]))
+            lengths[next_reg] = lengths[a]
+        elif kind < 6:
+            ctor = (v_sigm, v_tanh, v_relu)[kind - 3]
+            program.append(ctor(next_reg, a, lengths[a]))
+            lengths[next_reg] = lengths[a]
+        elif kind == 6:
+            program.append(v_copy(next_reg, a, lengths[a]))
+            lengths[next_reg] = lengths[a]
+        elif kind == 7 and lengths[a] >= 2:
+            width = int(rng.integers(1, lengths[a]))
+            start = int(rng.integers(0, lengths[a] - width + 1))
+            program.append(v_slice(next_reg, a, start, width))
+            lengths[next_reg] = width
+        else:
+            b = int(rng.choice(regs))
+            program.append(v_concat(next_reg, a, b, lengths[a] + lengths[b]))
+            lengths[next_reg] = lengths[a] + lengths[b]
+        next_reg += 1
+    fill = int(rng.integers(2, 9))
+    program.append(v_fill(next_reg, float(rng.normal()), fill))
+    lengths[next_reg] = fill
+
+    # Spill every live register to a distinct DRAM window.
+    spill = {}
+    cursor = out_addr
+    for reg, length in sorted(lengths.items()):
+        program.append(v_wr(reg, cursor, length))
+        spill[reg] = (cursor, length)
+        cursor += length
+    program.append(halt())
+
+    matrix = rng.normal(0.0, 1.0, (rows, cols))
+    return {
+        "program": program,
+        "lengths": lengths,
+        "spill": spill,
+        "in_addr": in_addr,
+        "total_in": total_in,
+        "mat_addr": mat_addr,
+        "matrix": matrix,
+        "shared_matrix": shared_matrix,
+        "stream_addr": stream_addr,
+        "stream_words": iters * chunk,
+    }
+
+
+class TestRandomProgramEquivalence:
+    """Property-style: seeded random programs, random batch sizes, every
+    architectural register and DRAM window compared bitwise."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batched_tracks_scalar(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        case = _random_program(rng)
+        batch = int(rng.integers(2, 9))
+
+        lane_images = [
+            {
+                "inputs": rng.normal(0.0, 1.0, case["total_in"]),
+                "stream": rng.normal(0.0, 1.0, case["stream_words"]),
+                "matrix": case["matrix"]
+                if case["shared_matrix"]
+                else rng.normal(0.0, 1.0, case["matrix"].shape),
+            }
+            for _ in range(batch)
+        ]
+
+        def lane_preload(image):
+            def preload(view):
+                view.dram.write(case["in_addr"], image["inputs"])
+                view.dram.write(case["stream_addr"], image["stream"])
+                if not case["shared_matrix"]:
+                    view.dram.write(case["mat_addr"], image["matrix"].ravel())
+            return preload
+
+        def shared_preload(view):
+            if case["shared_matrix"]:
+                view.dram.write(case["mat_addr"], case["matrix"].ravel())
+
+        lanes = run_batched(
+            case["program"],
+            [lane_preload(image) for image in lane_images],
+            shared_preload=shared_preload,
+        )
+        assert not lanes.fallback
+
+        for index, image in enumerate(lane_images):
+            ref = FunctionalSimulator(case["program"])
+            shared_preload(ref)
+            lane_preload(image)(ref)
+            ref.run()
+            for reg in case["lengths"]:
+                assert np.array_equal(
+                    lanes.lane_vector(index, reg), ref.vector(reg)
+                ), f"seed {seed}: v{reg} diverged on lane {index}"
+            for reg, (addr, length) in case["spill"].items():
+                assert np.array_equal(
+                    lanes.lane_dram_read(index, addr, length),
+                    ref.dram.read(addr, length),
+                ), f"seed {seed}: DRAM spill of v{reg} diverged on lane {index}"
+
+
+class TestScaleOutBatched:
+    @pytest.mark.parametrize("replicas", [2, 4])
+    def test_matches_per_lane_scaleout_bitwise(self, replicas, gru_small):
+        weights, xs0 = gru_small
+        h, t = weights.hidden, xs0.shape[0]
+        rng = np.random.default_rng(17)
+        payloads = [rng.normal(0.0, 0.5, (t, h)) for _ in range(3)]
+        programs = build_scaleout_programs("gru", weights, t, replicas)
+        gens = [
+            make_codegen("gru", weights, t, replicas=replicas, replica_index=i)
+            for i in range(replicas)
+        ]
+
+        lanes, fabric = run_scaleout_batched(
+            programs,
+            [
+                (lambda xs: (lambda view, i: gens[i].preload_inputs(view, xs)))(xs)
+                for xs in payloads
+            ],
+            shared_preload=lambda view, i: gens[i].preload_weights(view),
+        )
+        assert fabric.bytes_transferred > 0
+        slice_rows = h // replicas
+
+        for index, xs in enumerate(payloads):
+            sims, _ = run_scaleout(
+                programs, preload=lambda sim, i, xs=xs: gens[i].preload(sim, xs)
+            )
+            for rep in range(replicas):
+                expected = sims[rep].dram.read(
+                    OUT_BASE + rep * slice_rows, slice_rows
+                )
+                got = lanes[rep].lane_dram_read(
+                    index, OUT_BASE + rep * slice_rows, slice_rows
+                )
+                assert np.array_equal(got, expected)
+
+    def test_sync_without_fabric_rejected_at_validation(self, gru_small):
+        from repro.errors import ProgramValidationError
+
+        weights, xs = gru_small
+        programs = build_scaleout_programs("gru", weights, xs.shape[0], 2)
+        with pytest.raises(ProgramValidationError, match="sync"):
+            BatchedFunctionalSimulator(programs[0], batch=2)
