@@ -75,7 +75,9 @@ class Scheduler(Protocol):
     def has_fast_path(self, task: Task) -> bool:
         """Optional: True when ``task`` can start without reconfiguration
         (an idle deployment of its model is resident).  The simulator serves
-        fast-path tasks first to preserve locality."""
+        fast-path tasks first to preserve locality.  Must depend only on
+        ``task.model_key`` and scheduler state — the dispatch loop caches
+        the answer per model within one pass."""
 
     def retry_hint(self, task: Task, now: float) -> float:
         """Optional: after ``try_start`` declined ``task``, the earliest
@@ -140,11 +142,21 @@ class ClusterSimulator:
     #: Consecutive fruitless retries with nothing running => deadlock.
     MAX_IDLE_RETRIES = 64
 
+    #: Compact the pending list once this many tombstones accumulate (and
+    #: they outnumber the live entries) — keeps removal O(1) amortized.
+    COMPACT_THRESHOLD = 64
+
     def __init__(self, scheduler: Scheduler, system_name: str = "system"):
         self.scheduler = scheduler
         self.system_name = system_name
         self.queue = EventQueue()
         self._pending: list[Task] = []
+        #: Task ids removed from the queue but not yet compacted out of
+        #: ``_pending``.  ``list.remove`` is O(n) per call, which turns the
+        #: dispatch loop quadratic at 100k-task backlogs; tombstoning keeps
+        #: each removal O(1) while preserving FIFO-per-model scan order
+        #: exactly (compaction only deletes, never reorders).
+        self._pending_dead: set[int] = set()
         self._result = SimulationResult(system=system_name)
         self._dispatching = False
         self._running_count = 0
@@ -162,6 +174,28 @@ class ClusterSimulator:
         bind = getattr(scheduler, "bind_simulator", None)
         if bind is not None:
             bind(self)
+
+    # -- pending-queue bookkeeping ------------------------------------------------
+
+    def _remove_pending(self, task: Task) -> None:
+        """Tombstone one queued task (O(1) amortized; order preserved)."""
+        self._pending_dead.add(task.task_id)
+        dead = len(self._pending_dead)
+        if dead >= self.COMPACT_THRESHOLD and dead * 2 > len(self._pending):
+            self._pending = [
+                t for t in self._pending if t.task_id not in self._pending_dead
+            ]
+            self._pending_dead.clear()
+
+    def _pending_tasks(self) -> list:
+        """Live queued tasks in arrival-scan order (tombstones elided)."""
+        if not self._pending_dead:
+            return list(self._pending)
+        return [t for t in self._pending if t.task_id not in self._pending_dead]
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending) - len(self._pending_dead)
 
     # -- scheduler-driven events (live migrations) -------------------------------
 
@@ -232,16 +266,32 @@ class ClusterSimulator:
                     # (admission/expansion decisions need it).
                     counts: dict = {}
                     for pending_task in self._pending:
+                        if pending_task.task_id in self._pending_dead:
+                            continue
                         counts[pending_task.model_key] = (
                             counts.get(pending_task.model_key, 0) + 1
                         )
                     observe(counts)
-                scan = list(self._pending)
+                scan = self._pending_tasks()
                 if fast_path is not None:
                     # Locality pass: tasks whose model is already resident
                     # start first, so a cold task never evicts a hot model
-                    # out from under its queued work.
-                    scan.sort(key=lambda t: (not fast_path(t), t.arrival_s))
+                    # out from under its queued work.  The answer is a pure
+                    # function of the model key and no state changes while
+                    # the sort runs, so it is resolved once per model per
+                    # pass — a deep backlog would otherwise pay a resident-
+                    # deployment scan per queued task per pass.
+                    fast_by_model: dict = {}
+                    for pending_task in scan:
+                        if pending_task.model_key not in fast_by_model:
+                            fast_by_model[pending_task.model_key] = bool(
+                                fast_path(pending_task)
+                            )
+                    scan.sort(
+                        key=lambda t: (
+                            not fast_by_model[t.model_key], t.arrival_s
+                        )
+                    )
                 now = self.queue.now
                 for task in scan:
                     if should_drop is not None and should_drop(task, now):
@@ -249,7 +299,7 @@ class ClusterSimulator:
                         # retry budget): the task never occupies a board.
                         # Checked before the watermark so an expiry is
                         # never delayed by a blocked model's time gate.
-                        self._pending.remove(task)
+                        self._remove_pending(task)
                         self._result.dropped.append(task)
                         PROFILER.incr("simulator.dequeue_drops")
                         self._resource_version += 1
@@ -281,7 +331,7 @@ class ClusterSimulator:
                         raise SimulationError(
                             f"scheduler returned negative service time {service}"
                         )
-                    self._pending.remove(task)
+                    self._remove_pending(task)
                     task.start_s = now
                     self._running_count += 1
                     self._blocked.pop(task.model_key, None)
@@ -293,7 +343,7 @@ class ClusterSimulator:
                     self._idle_retries = 0
         finally:
             self._dispatching = False
-        if self._pending and not self._retry_scheduled:
+        if self.pending_count and not self._retry_scheduled:
             # Time-gated policies (eviction staleness) need the clock to
             # advance before a blocked task can be placed; poll.
             if self._running_count == 0 and self._external_inflight == 0:
@@ -302,9 +352,10 @@ class ClusterSimulator:
                 if not waiting:
                     self._idle_retries += 1
                     if self._idle_retries > self.MAX_IDLE_RETRIES:
-                        stuck = sorted({t.model_key for t in self._pending})
+                        left = self._pending_tasks()
+                        stuck = sorted({t.model_key for t in left})
                         raise SimulationError(
-                            f"{self.system_name}: {len(self._pending)} tasks "
+                            f"{self.system_name}: {len(left)} tasks "
                             f"stuck with an idle cluster (models: {stuck})"
                         )
             self._retry_scheduled = True
@@ -332,10 +383,11 @@ class ClusterSimulator:
             self.queue.schedule(task.arrival_s, self._arrive, task)
         self.queue.run()
         PROFILER.incr("simulator.events", self.queue.processed)
-        if self._pending:
-            stuck = sorted({t.model_key for t in self._pending})
+        if self.pending_count:
+            left = self._pending_tasks()
+            stuck = sorted({t.model_key for t in left})
             raise SimulationError(
-                f"{self.system_name}: {len(self._pending)} tasks never placed "
+                f"{self.system_name}: {len(left)} tasks never placed "
                 f"(models: {stuck}) — scheduler cannot serve this workload"
             )
         self._result.makespan_s = self.queue.now - min(t.arrival_s for t in tasks)

@@ -30,6 +30,15 @@ runner speed.  Refresh with::
 
     PYTHONPATH=src python -m repro.experiments.bench_batch --smoke \
         --output benchmarks/baselines/BENCH_batch_smoke.json
+
+And (optionally, via ``--scale-current``) the cluster-scale smoke report:
+the pod-routed schedules must stay bit-identical to the flat control
+runs, board probes per placement search must keep growing sub-linearly
+in board count, and the largest point's wall-clock gets the same
+``--tolerance`` bound as the fig12 gate.  Refresh with::
+
+    PYTHONPATH=src python -m repro.experiments.bench_scale --smoke \
+        --output benchmarks/baselines/BENCH_scale_smoke.json
 """
 
 from __future__ import annotations
@@ -50,6 +59,8 @@ SLO_DROP_TOLERANCE = 0.05
 BATCH_BASELINE = "benchmarks/baselines/BENCH_batch_smoke.json"
 #: Allowed fractional drop in batched-vs-scalar speedup at the gate batch.
 BATCH_SPEEDUP_DROP_TOLERANCE = 0.25
+
+SCALE_BASELINE = "benchmarks/baselines/BENCH_scale_smoke.json"
 
 #: Deterministic work counters (exact comparison, warnings only).
 COUNTER_KEYS = (
@@ -211,6 +222,69 @@ def compare_batch(
     return failures, warnings
 
 
+def compare_scale(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> tuple:
+    """Cluster-scale regression gate: ``(failures, warnings)``.
+
+    Hard failures: scale mismatch, any pod-vs-flat schedule divergence,
+    a sub-linearity gate failure, or the largest point's pod wall-clock
+    exceeding the baseline by more than ``tolerance``.  Per-point probe
+    and event drift only warns (deterministic counters; the equivalence
+    tests arbitrate behaviour changes)."""
+    failures: list = []
+    warnings: list = []
+    if current["scale"] != baseline["scale"]:
+        failures.append(
+            f"scale-bench mismatch: current {current['scale']} vs baseline "
+            f"{baseline['scale']} — comparing different sweeps"
+        )
+        return failures, warnings
+    cur_gate = current["gate"]
+    if not cur_gate["pod_flat_identical"]:
+        diverged = [
+            p["boards"]
+            for p in current["points"]
+            if not p["identical_to_flat"]
+        ]
+        failures.append(
+            f"pod-routed schedules diverged from flat control at "
+            f"{diverged} boards (equivalence contract broken)"
+        )
+    if not cur_gate["sublinear"]:
+        failures.append(
+            f"probe growth no longer sub-linear: {cur_gate['probe_growth']:.2f}x "
+            f"probes vs {cur_gate['board_growth']:.0f}x boards (allowed "
+            f"fraction {cur_gate['sublinear_fraction']})"
+        )
+    cur_wall = current["points"][-1]["pod"]["wall_s"]
+    base_wall = baseline["points"][-1]["pod"]["wall_s"]
+    ratio = cur_wall / base_wall if base_wall else float("inf")
+    if ratio > 1.0 + tolerance:
+        failures.append(
+            f"scale wall-clock regression at "
+            f"{current['points'][-1]['boards']} boards: {cur_wall:.2f}s vs "
+            f"baseline {base_wall:.2f}s ({ratio:.2f}x, tolerance "
+            f"{1.0 + tolerance:.2f}x)"
+        )
+    else:
+        warnings.append(
+            f"scale wall-clock: {cur_wall:.2f}s vs baseline "
+            f"{base_wall:.2f}s ({ratio:.2f}x) — within tolerance"
+        )
+    for cur_point, base_point in zip(current["points"], baseline["points"]):
+        for key in ("placement_searches", "boards_probed", "events"):
+            cur = cur_point["pod"].get(key)
+            base = base_point["pod"].get(key)
+            if cur != base:
+                warnings.append(
+                    f"counter drift at {cur_point['boards']} boards: "
+                    f"pod.{key} {base} -> {cur} (behaviour change — the "
+                    f"equivalence tests arbitrate)"
+                )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_fig12.json",
@@ -230,6 +304,11 @@ def main(argv=None) -> int:
                         "report (omit to skip the batch gate)")
     parser.add_argument("--batch-baseline", default=BATCH_BASELINE,
                         help="committed batched-simulation reference report")
+    parser.add_argument("--scale-current", default=None,
+                        help="freshly produced cluster-scale smoke report "
+                        "(omit to skip the scale gate)")
+    parser.add_argument("--scale-baseline", default=SCALE_BASELINE,
+                        help="committed cluster-scale reference report")
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -256,6 +335,16 @@ def main(argv=None) -> int:
         )
         failures.extend(batch_failures)
         warnings.extend(batch_warnings)
+    if args.scale_current:
+        scale_current = json.loads(pathlib.Path(args.scale_current).read_text())
+        scale_baseline = json.loads(
+            pathlib.Path(args.scale_baseline).read_text()
+        )
+        scale_failures, scale_warnings = compare_scale(
+            scale_current, scale_baseline, args.tolerance
+        )
+        failures.extend(scale_failures)
+        warnings.extend(scale_warnings)
     for message in warnings:
         print(f"[warn] {message}")
     for message in failures:

@@ -94,11 +94,9 @@ class RecoveryManager:
         are flagged and picked up at their next state transition.
         """
         controller = self.controller
-        affected = [
-            deployment
-            for deployment in controller.deployments.values()
-            if board.fpga_id in deployment.member_fpgas
-        ]
+        # Reverse residency index: O(residents on the board), not O(fleet)
+        # — at 1000 boards the old full-fleet scan dominated every storm.
+        affected = controller.deployments_on(board.fpga_id)
         for deployment in affected:
             controller.stats.deployments_failed += 1
             PROFILER.incr("faults.deployments_failed")

@@ -238,7 +238,9 @@ class MigrationEngine:
         for move in plan.moves:
             src = controller.cluster.board(move.src_fpga)
             controller.low_level.release(src, deployment.deployment_id)
+            controller.untrack_resident(move.src_fpga, deployment.deployment_id)
             dst = controller.cluster.board(move.dst_fpga)
+            controller.track_resident(move.dst_fpga, deployment.deployment_id)
             image = deployment.plan.images[move.dst_type]
             deployment.placements[move.replica_index] = ReplicaPlacement(
                 fpga_id=move.dst_fpga,

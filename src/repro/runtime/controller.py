@@ -80,6 +80,9 @@ class ControllerStats:
     reuse_hits: int = 0
     #: Full placement searches actually run (post fast-reject).
     placement_searches: int = 0
+    #: Boards examined across all placement searches (the scan-cost metric
+    #: the pod router keeps sub-linear in cluster size).
+    boards_probed: int = 0
     #: Placement attempts answered by the capacity fast-reject alone.
     fast_rejects: int = 0
     #: Defragmentation plans issued (migration subsystem enabled only).
@@ -122,7 +125,7 @@ class ControllerStats:
 
 
 class PlacementIndex:
-    """Per-device-type sorted free-capacity index over cluster boards.
+    """Per-device-type sorted free-capacity index over a set of boards.
 
     Each device type keeps a bisect-maintained ascending list of
     ``(free_blocks, fpga_id)``; boards push occupancy deltas through the
@@ -136,13 +139,24 @@ class PlacementIndex:
     placement query without the policies having to know about faults.  The
     index subscribes to :meth:`PhysicalFPGA.subscribe_health` and drops or
     re-admits entries on transitions.
+
+    The constructor accepts either a whole :class:`FPGACluster` or any
+    iterable of boards — the pod router builds one index per pod over a
+    slice of the cluster.  ``version`` counts every entry mutation; derived
+    caches (the router's per-(model, pod) feasibility cache) validate
+    against it instead of subscribing themselves.
     """
 
-    def __init__(self, cluster: FPGACluster):
-        self._boards: dict[str, object] = dict(cluster.boards)
+    def __init__(self, boards):
+        if isinstance(boards, FPGACluster):
+            boards = boards.boards.values()
+        self._boards: dict[str, object] = {b.fpga_id: b for b in boards}
         self._by_type: dict[str, list[tuple[int, str]]] = {}
         self._id_order: dict[str, list] = {}
-        for board in cluster.boards.values():
+        #: Bumped on every entry mutation (occupancy or health); consumers
+        #: cache derived answers keyed by this.
+        self.version = 0
+        for board in self._boards.values():
             if board.health is BoardHealth.HEALTHY:
                 self._by_type.setdefault(board.model.name, []).append(
                     (board.free_blocks, board.fpga_id)
@@ -154,16 +168,31 @@ class PlacementIndex:
             board.subscribe_health(self._on_health)
         for entries in self._by_type.values():
             entries.sort()
-        for boards in self._id_order.values():
-            boards.sort(key=lambda b: b.fpga_id)
+        for boards_of_type in self._id_order.values():
+            boards_of_type.sort(key=lambda b: b.fpga_id)
+
+    def _pop_exact(self, entries: list, expected: tuple) -> None:
+        """Remove ``expected`` from ``entries``, verifying it is present.
+
+        A stale or duplicated notification used to pop whatever entry the
+        bisect landed on — silently removing a *different* board's entry
+        and corrupting the index.  Now a mismatch raises instead.
+        """
+        at = bisect.bisect_left(entries, expected)
+        if at >= len(entries) or entries[at] != expected:
+            raise AllocationError(
+                f"placement index corruption: expected entry {expected!r} "
+                f"is not present (stale or duplicate board notification)"
+            )
+        entries.pop(at)
 
     def _on_change(self, board, old_free: int) -> None:
         if board.health is not BoardHealth.HEALTHY:
             return  # unhealthy boards carry no entry to move
         entries = self._by_type[board.model.name]
-        at = bisect.bisect_left(entries, (old_free, board.fpga_id))
-        entries.pop(at)
+        self._pop_exact(entries, (old_free, board.fpga_id))
         bisect.insort(entries, (board.free_blocks, board.fpga_id))
+        self.version += 1
 
     def _on_health(self, board, old_health) -> None:
         was_placeable = old_health is BoardHealth.HEALTHY
@@ -171,10 +200,10 @@ class PlacementIndex:
             return  # DEGRADED <-> FAILED: absent either way
         entries = self._by_type[board.model.name]
         if was_placeable:
-            at = bisect.bisect_left(entries, (board.free_blocks, board.fpga_id))
-            entries.pop(at)
+            self._pop_exact(entries, (board.free_blocks, board.fpga_id))
         else:
             bisect.insort(entries, (board.free_blocks, board.fpga_id))
+        self.version += 1
 
     # -- queries -------------------------------------------------------------
 
@@ -213,6 +242,19 @@ class PlacementIndex:
             if board.health is BoardHealth.HEALTHY
         ]
 
+    def entries_with_at_least(self, device_type: str, blocks: int) -> list:
+        """Sorted ``(free, fpga_id)`` entries with ``free >= blocks``.
+
+        The ascending slice the placement policies consume: best-fit wants
+        it as-is, worst-fit re-keys it descending.  Positioning is one
+        bisect, so the infeasible prefix is never touched.
+        """
+        entries = self._by_type.get(device_type, [])
+        return entries[bisect.bisect_left(entries, (blocks, "")) :]
+
+    def board(self, fpga_id: str):
+        return self._boards[fpga_id]
+
     def check_consistent(self) -> bool:
         """Index entries match a from-scratch recount (invariant tests).
 
@@ -233,6 +275,11 @@ class PlacementIndex:
 class SystemController:
     """Resource allocation over one cluster, one catalog."""
 
+    #: Most-promising pods a defragmentation attempt will plan inside
+    #: before giving up — keeps the failure path's scan cost constant as
+    #: the cluster grows (a single-pod cluster always tries its one pod).
+    DEFRAG_POD_ATTEMPTS = 4
+
     def __init__(
         self,
         cluster: FPGACluster,
@@ -249,6 +296,7 @@ class SystemController:
         migration_params=None,
         recovery_enabled: bool = False,
         recovery_params=None,
+        pod_size: int | None = None,
     ):
         self.cluster = cluster
         self.catalog = catalog
@@ -273,7 +321,18 @@ class SystemController:
         #: defrag schedule their completions on it; ``None`` = synchronous).
         self._simulator = None
         self.deployments: dict[str, Deployment] = {}
-        self.index = PlacementIndex(cluster)
+        # The control plane is sharded: boards group into pods, each with
+        # its own PlacementIndex, behind a router that keeps per-pod
+        # summaries and a per-(model, pod) feasibility cache.  One pod
+        # (any cluster up to pod_size boards — the Fig. 12 platform) is
+        # exactly the old flat index, query order included.
+        from .pods import PodRouter  # import here: pods imports this module
+
+        self.index = PodRouter(cluster, pod_size)
+        self.pod_size = self.index.pod_size
+        #: fpga_id -> deployment ids with a replica on that board, so the
+        #: fault path scales with the board's residents, not the fleet.
+        self._residents_by_board: dict[str, set] = {}
         self.stats = ControllerStats()
         #: Structured operational events (recovery abandonments, serving
         #: transitions); bounded so long chaos runs cannot grow it without
@@ -350,9 +409,15 @@ class SystemController:
                 PROFILER.incr("controller.fast_rejects")
             if not may_evict or not self._evict_one_idle(now, model_key):
                 self.stats.placement_failures += 1
+                # Diagnostic from the pod summaries (O(pods)), not a
+                # cluster walk — this raise is hot under backlog.
+                largest = {
+                    device_type: self.index.max_free(device_type)
+                    for device_type in self.index.device_types()
+                }
                 raise AllocationError(
                     f"no feasible allocation for {model_key} "
-                    f"(free blocks: {self.cluster.total_free_blocks()})"
+                    f"(largest free hole per type: {largest})"
                 )
 
     def emit_event(self, event) -> None:
@@ -413,6 +478,7 @@ class SystemController:
         for placement in deployment.placements:
             board = self.cluster.board(placement.fpga_id)
             self.low_level.release(board, deployment.deployment_id)
+            self.untrack_resident(placement.fpga_id, deployment.deployment_id)
         self.deployments.pop(deployment.deployment_id, None)
         siblings = self._by_model.get(deployment.model_key)
         if siblings is not None:
@@ -422,6 +488,44 @@ class SystemController:
                 pass
             if not siblings:
                 del self._by_model[deployment.model_key]
+
+    # -- board-residency reverse index ---------------------------------------------------
+
+    def track_resident(self, fpga_id: str, deployment_id: str) -> None:
+        """Record that a deployment has a replica on ``fpga_id``."""
+        self._residents_by_board.setdefault(fpga_id, set()).add(deployment_id)
+
+    def untrack_resident(self, fpga_id: str, deployment_id: str) -> None:
+        residents = self._residents_by_board.get(fpga_id)
+        if residents is not None:
+            residents.discard(deployment_id)
+            if not residents:
+                del self._residents_by_board[fpga_id]
+
+    def deployments_on(self, fpga_id: str) -> list:
+        """Live deployments with a replica on ``fpga_id``, in creation
+        order.  The failure-intake path uses this instead of scanning
+        every deployment in the fleet."""
+        residents = self._residents_by_board.get(fpga_id, ())
+        return sorted(
+            (
+                self.deployments[deployment_id]
+                for deployment_id in residents
+                if deployment_id in self.deployments
+            ),
+            key=lambda d: int(d.deployment_id.rsplit("-", 1)[1]),
+        )
+
+    def check_residents_consistent(self) -> bool:
+        """The reverse residency index equals a from-scratch rebuild from
+        the deployment placement records (invariant tests)."""
+        expected: dict[str, set] = {}
+        for deployment in self.deployments.values():
+            for placement in deployment.placements:
+                expected.setdefault(placement.fpga_id, set()).add(
+                    deployment.deployment_id
+                )
+        return expected == self._residents_by_board
 
     # -- board health (fault subsystem) -------------------------------------------------
 
@@ -501,12 +605,23 @@ class SystemController:
     def plan_defrag(self, model_key: str):
         """The cheapest migration set that would let ``model_key`` place,
         or ``None`` — only when the subsystem is enabled and the failure
-        is fragmentation rather than capacity."""
+        is fragmentation rather than capacity.
+
+        Planning is *pod-local*: the router orders pods by aggregate free
+        capacity and the planner runs inside one pod's index at a time
+        (victims and destinations both pod members), so the scan cost per
+        attempt is bounded by the pod size, not the cluster.  On a
+        single-pod cluster this is exactly the old cluster-wide plan.
+        """
         if not self.migration_enabled:
             return None
         from ..migration.defrag import plan_defrag
 
-        plan = plan_defrag(self, model_key, self.migration)
+        plan = None
+        for pod in self.index.defrag_pod_order()[: self.DEFRAG_POD_ATTEMPTS]:
+            plan = plan_defrag(self, model_key, self.migration, index=pod.index)
+            if plan is not None:
+                break
         if plan is not None:
             self.stats.defrag_plans += 1
             PROFILER.incr("controller.defrag_plans")
@@ -532,35 +647,14 @@ class SystemController:
 
     def _any_plan_could_fit(self, model_key: str) -> bool:
         """Capacity fast-reject: every placement needs at least one board
-        able to host one replica image, so when no device type has that much
-        free the whole plan loop is skipped (memoized in the catalog)."""
-        feasible = self.catalog.placement_feasible
-        max_free = self.index.max_free
-        return any(
-            feasible(model_key, device_type, max_free(device_type))
-            for device_type in self.index.device_types()
+        able to host one replica image, so when no pod has a board with
+        that much free the whole plan loop is skipped.  Answers come from
+        the router's per-(model, pod) feasibility cache, revalidated by
+        pod index version — a mutation in one pod invalidates one pod's
+        entry, not the fleet's."""
+        return self.index.any_feasible(
+            model_key, self.catalog.placement_feasible
         )
-
-    def _boards_in_policy_order(self, device_type: str) -> list:
-        if self.placement is PlacementPolicy.BEST_FIT:
-            return self.index.boards_best_fit(device_type)
-        if self.placement is PlacementPolicy.WORST_FIT:
-            return self.index.boards_worst_fit(device_type)
-        return self.index.boards_by_id(device_type)
-
-    def _candidate_boards(self, plan: DeploymentPlan) -> list:
-        boards = [
-            board
-            for device_type in plan.feasible_types
-            for board in self.index.boards_by_id(device_type)
-        ]
-        if self.placement is PlacementPolicy.BEST_FIT:
-            boards.sort(key=lambda b: (b.free_blocks, b.fpga_id))
-        elif self.placement is PlacementPolicy.WORST_FIT:
-            boards.sort(key=lambda b: (-b.free_blocks, b.fpga_id))
-        else:
-            boards.sort(key=lambda b: b.fpga_id)
-        return boards
 
     def _find_placement(
         self, plan: DeploymentPlan, allow_mixed: bool = True
@@ -572,21 +666,29 @@ class SystemController:
         no faster same-type pair is free), then packs best-fit.
         ``allow_mixed=False`` suppresses cross-type assignments (callers use
         it to keep scarce device types free for other queued models).
+
+        Candidates stream lazily out of the pod router in the flat policy
+        order, so a search touches the few boards it actually picks from
+        (plus one summary probe per pod) instead of the whole cluster.
         """
         PROFILER.incr("controller.find_placement_calls")
         self.stats.placement_searches += 1
         options: list = []
         for device_type in plan.feasible_types:
             image = plan.images[device_type]
-            # Index probe: a same-type assignment needs `replicas` boards
+            # Summary probe: a same-type assignment needs `replicas` boards
             # with enough free blocks — skip the pick when too few exist.
             if (
                 self.index.count_with_at_least(device_type, image.virtual_blocks)
                 < plan.replicas
             ):
                 continue
-            subset = self._boards_in_policy_order(device_type)
-            chosen = self._pick_boards(plan, subset)
+            chosen = self._pick_boards(
+                plan,
+                self.index.iter_candidates(
+                    {device_type: image.virtual_blocks}, self.placement
+                ),
+            )
             if chosen is not None:
                 options.append(chosen)
         if options:
@@ -599,13 +701,46 @@ class SystemController:
                 key=lambda assignment: self._estimate_service(plan, assignment),
             )
         if not self.same_type_only and plan.replicas > 1 and allow_mixed:
-            return self._pick_boards(plan, self._candidate_boards(plan))
+            requirements = {
+                device_type: plan.images[device_type].virtual_blocks
+                for device_type in plan.feasible_types
+            }
+            return self._pick_boards(
+                plan, self.index.iter_candidates(requirements, self.placement)
+            )
         return None
 
+    def _hop_signature(self, assignment: list) -> int:
+        """Ring-distance identity of an assignment: the worst pairwise hop
+        count among its boards.  ``_service_time`` depends on the member
+        boards only through the all-to-all exchange's critical path, which
+        is exactly this number — so it is the one piece of placement
+        identity the service cache must key on."""
+        if len(assignment) < 2:
+            return 0
+        network = self.cluster.network
+        if network is None:
+            return 0
+        ids = [board.fpga_id for board, _ in assignment]
+        return max(
+            network.hops(a, b)
+            for at, a in enumerate(ids)
+            for b in ids[at + 1 :]
+        )
+
     def _estimate_service(self, plan: DeploymentPlan, assignment: list) -> float:
-        """Service-time estimate for an assignment (cached per type mix)."""
-        types = tuple(sorted(board.model.name for board, _ in assignment))
-        key = (plan.model_key, plan.replicas, types)
+        """Service-time estimate for an assignment.
+
+        Cached per (model, replicas, ordered device types, ring-hop
+        signature): the estimate is a pure function of exactly those
+        inputs.  Keying on the type mix alone (the old key) let two
+        assignments with identical types but different ring adjacency
+        share one entry, so ``_find_placement``'s min() could pick the
+        slower pair on the stale number.
+        """
+        types = tuple(board.model.name for board, _ in assignment)
+        key = (plan.model_key, plan.replicas, types,
+               self._hop_signature(assignment))
         cached = self._service_cache.get(key)
         if cached is None:
             placements = [
@@ -620,21 +755,26 @@ class SystemController:
             self._service_cache[key] = cached
         return cached
 
-    def _pick_boards(self, plan: DeploymentPlan, boards: list) -> list | None:
-        chosen = []
-        used = set()
-        for _replica in range(plan.replicas):
-            for board in boards:
-                if board.fpga_id in used:
-                    continue
-                image = plan.images.get(board.model.name)
-                if image is not None and board.can_host(image.virtual_blocks):
-                    chosen.append((board, image))
-                    used.add(board.fpga_id)
+    def _pick_boards(self, plan: DeploymentPlan, boards) -> list | None:
+        """First ``plan.replicas`` feasible boards from an iterable.
+
+        One pass: candidate feasibility (image exists for the board's type,
+        enough free blocks) is static while a search runs, so taking the
+        first k feasible boards in stream order chooses exactly what the
+        old per-replica rescan over a materialised list chose.
+        """
+        chosen: list = []
+        probed = 0
+        for board in boards:
+            probed += 1
+            image = plan.images.get(board.model.name)
+            if image is not None and board.can_host(image.virtual_blocks):
+                chosen.append((board, image))
+                if len(chosen) == plan.replicas:
                     break
-            else:
-                return None
-        return chosen
+        self.stats.boards_probed += probed
+        PROFILER.incr("controller.board_probes", probed)
+        return chosen if len(chosen) == plan.replicas else None
 
     def _evict_one_idle(self, now: float, requesting_model: str) -> bool:
         """Reclaim the least-recently-used *stale* idle deployment.
@@ -689,6 +829,8 @@ class SystemController:
         )
         deployment.service_s = self._service_time(plan, placements)
         self.deployments[deployment_id] = deployment
+        for placement in placements:
+            self.track_resident(placement.fpga_id, deployment_id)
         self._by_model.setdefault(plan.model_key, []).append(deployment)
         self.stats.deployments_created += 1
         return deployment, reconfig

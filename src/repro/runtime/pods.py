@@ -1,0 +1,262 @@
+"""Pod-sharded control plane: per-pod placement indices behind one router.
+
+A flat :class:`~repro.runtime.controller.PlacementIndex` over a
+thousand-board pool makes every placement query touch state proportional
+to the whole cluster.  Production FPGA pools (Funky; Zeng et al. — see
+PAPERS.md) shard devices behind hierarchical allocators instead; this
+module is that layer:
+
+* boards are grouped into *pods* (configurable size, default
+  :data:`DEFAULT_POD_SIZE`, in cluster declaration order — adjacent ring
+  positions land in the same pod, which keeps multi-replica assignments
+  ring-local);
+* each pod owns a private :class:`PlacementIndex` over its boards only, so
+  occupancy and health notifications never touch other pods;
+* the :class:`PodRouter` fronts them with aggregate summaries
+  (``max_free``, ``count_with_at_least`` as per-pod probes), a
+  per-``(model, pod)`` feasibility cache validated by the pod index's
+  mutation ``version``, and *lazy merged* candidate iteration: placement
+  consumes boards in exactly the flat policy order, but only as many as
+  the search actually needs, and only from pods whose summary says they
+  could host the image.
+
+Equivalence contract: for every placement policy the router's candidate
+order over the whole cluster is identical to the flat index's order (the
+per-pod entry lists are disjoint slices of the same global order, and the
+merge is stable on the unique ``(free, fpga_id)`` / ``fpga_id`` keys), so
+schedules are bit-identical to the flat controller — on the 4-board
+Fig. 12 cluster a single pod *is* the flat index — while the probe count
+per search stops growing with the cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..cluster.topology import FPGACluster
+from .controller import PlacementIndex, PlacementPolicy
+
+#: Boards per pod when neither the controller nor the cluster pins one.
+DEFAULT_POD_SIZE = 32
+
+
+class Pod:
+    """One shard: a pod id plus a private index over its member boards."""
+
+    __slots__ = ("pod_id", "index", "board_ids")
+
+    def __init__(self, pod_id: int, boards: list):
+        self.pod_id = pod_id
+        self.index = PlacementIndex(boards)
+        self.board_ids = [board.fpga_id for board in boards]
+
+    def total_free_blocks(self) -> int:
+        """Aggregate free blocks across the pod (promise ordering)."""
+        return sum(
+            board.free_blocks
+            for device_type in self.index.device_types()
+            for board in self.index.boards_by_id(device_type)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Pod({self.pod_id}, {len(self.board_ids)} boards)"
+
+
+class PodRouter:
+    """Routes placement queries to per-pod indices.
+
+    Implements the flat :class:`PlacementIndex` query surface (so the
+    defragmentation planner, the CLI and the invariant tests work
+    unchanged) plus the routing API the controller's placement search
+    uses: :meth:`iter_candidates`, :meth:`any_feasible` and
+    :meth:`defrag_pod_order`.
+    """
+
+    def __init__(self, cluster: FPGACluster, pod_size: int | None = None):
+        boards = list(cluster.boards.values())
+        size = pod_size
+        if size is None:
+            size = getattr(cluster, "pod_size", None)
+        if size is None:
+            size = DEFAULT_POD_SIZE
+        if size < 1:
+            raise ValueError(f"pod size must be positive, got {size}")
+        self.pod_size = size
+        self.pods = [
+            Pod(pod_id, boards[at : at + size])
+            for pod_id, at in enumerate(range(0, len(boards), size))
+        ]
+        self._boards = {board.fpga_id: board for board in boards}
+        self._pod_by_board = {
+            fpga_id: pod for pod in self.pods for fpga_id in pod.board_ids
+        }
+        #: (model_key, pod_id) -> (pod index version, feasible?).  The
+        #: invalidation rule is entirely version-based: any occupancy or
+        #: health mutation inside the pod bumps its index version, and the
+        #: next probe recomputes; mutations in *other* pods leave the
+        #: entry valid, which is the point of sharding.
+        self._feasibility_cache: dict = {}
+
+    # -- topology ------------------------------------------------------------
+
+    def pod_of(self, fpga_id: str) -> Pod:
+        return self._pod_by_board[fpga_id]
+
+    def pod_count(self) -> int:
+        return len(self.pods)
+
+    # -- flat-compatible queries ----------------------------------------------
+
+    def device_types(self) -> list:
+        types: set = set()
+        for pod in self.pods:
+            types.update(pod.index.device_types())
+        return sorted(types)
+
+    def max_free(self, device_type: str) -> int:
+        return max((pod.index.max_free(device_type) for pod in self.pods),
+                   default=0)
+
+    def count_with_at_least(self, device_type: str, blocks: int) -> int:
+        total = 0
+        for pod in self.pods:
+            if pod.index.max_free(device_type) < blocks:
+                continue  # summary says no qualifying board in this pod
+            total += pod.index.count_with_at_least(device_type, blocks)
+        return total
+
+    def boards_best_fit(self, device_type: str) -> list:
+        """Boards of one type, fullest-that-fits first ((free, id) order)."""
+        merged = heapq.merge(
+            *(pod.index.entries_with_at_least(device_type, 0)
+              for pod in self.pods)
+        )
+        return [self._boards[fpga_id] for _, fpga_id in merged]
+
+    def boards_worst_fit(self, device_type: str) -> list:
+        """Boards of one type, emptiest first ((-free, id) order)."""
+        entries = [
+            entry
+            for pod in self.pods
+            for entry in pod.index.entries_with_at_least(device_type, 0)
+        ]
+        entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        return [self._boards[fpga_id] for _, fpga_id in entries]
+
+    def boards_by_id(self, device_type: str) -> list:
+        """Placeable boards of one type in stable fpga-id order."""
+        boards = [
+            board
+            for pod in self.pods
+            for board in pod.index.boards_by_id(device_type)
+        ]
+        boards.sort(key=lambda board: board.fpga_id)
+        return boards
+
+    # -- routed candidate iteration -------------------------------------------
+
+    def iter_candidates(self, requirements: dict, policy: PlacementPolicy):
+        """Boards able (by free count) to host their type's image, yielded
+        lazily in the flat placement-policy order.
+
+        ``requirements`` maps device type -> minimum free blocks (the
+        type's replica-image footprint).  Pods whose summary rules them out
+        contribute no stream; within contributing pods a bisect skips the
+        infeasible prefix, so the search consumes exactly the boards the
+        flat index would have picked from, in the same order, without ever
+        materialising the cluster-wide candidate list.
+        """
+        boards = self._boards
+        if policy is PlacementPolicy.BEST_FIT:
+            streams = [
+                pod.index.entries_with_at_least(device_type, need)
+                for device_type in sorted(requirements)
+                for need in (requirements[device_type],)
+                for pod in self.pods
+                if pod.index.max_free(device_type) >= need
+            ]
+            for _, fpga_id in heapq.merge(*streams):
+                yield boards[fpga_id]
+        elif policy is PlacementPolicy.WORST_FIT:
+            key = lambda entry: (-entry[0], entry[1])  # noqa: E731
+            streams = [
+                sorted(pod.index.entries_with_at_least(device_type, need),
+                       key=key)
+                for device_type in sorted(requirements)
+                for need in (requirements[device_type],)
+                for pod in self.pods
+                if pod.index.max_free(device_type) >= need
+            ]
+            for _, fpga_id in heapq.merge(*streams, key=key):
+                yield boards[fpga_id]
+        else:  # FIRST_FIT: stable fpga-id order
+            streams = [
+                [
+                    board.fpga_id
+                    for board in pod.index.boards_by_id(device_type)
+                    if board.free_blocks >= need
+                ]
+                for device_type in sorted(requirements)
+                for need in (requirements[device_type],)
+                for pod in self.pods
+                if pod.index.max_free(device_type) >= need
+            ]
+            for fpga_id in heapq.merge(*streams):
+                yield boards[fpga_id]
+
+    # -- feasibility routing ---------------------------------------------------
+
+    def pod_feasible(self, model_key: str, pod: Pod, feasible_fn) -> bool:
+        """Whether any plan of ``model_key`` could put one replica in
+        ``pod`` — cached per ``(model, pod)``, revalidated by version."""
+        cache_key = (model_key, pod.pod_id)
+        version = pod.index.version
+        cached = self._feasibility_cache.get(cache_key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        feasible = any(
+            feasible_fn(model_key, device_type,
+                        pod.index.max_free(device_type))
+            for device_type in pod.index.device_types()
+        )
+        self._feasibility_cache[cache_key] = (version, feasible)
+        return feasible
+
+    def any_feasible(self, model_key: str, feasible_fn) -> bool:
+        """Capacity fast-reject across pods.
+
+        Feasibility is monotone in free capacity, so "some pod can host a
+        replica" is exactly the flat index's "the global max-free board
+        can host a replica" — the answers agree, only the cache locality
+        differs.
+        """
+        return any(
+            self.pod_feasible(model_key, pod, feasible_fn)
+            for pod in self.pods
+        )
+
+    def defrag_pod_order(self) -> list:
+        """Pods worth attempting a pod-local defragmentation in, most
+        promising first: aggregate free capacity descending (pod id breaks
+        ties for determinism).  Deliberately NOT filtered by placement
+        feasibility — defragmentation exists exactly for pods where the
+        feasibility probe fails on hole size despite sufficient aggregate
+        free capacity."""
+        return sorted(
+            self.pods, key=lambda pod: (-pod.total_free_blocks(), pod.pod_id)
+        )
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_consistent(self) -> bool:
+        """Every pod index matches a from-scratch recount AND the pods
+        partition the cluster exactly (chaos/invariant tests)."""
+        seen: set = set()
+        for pod in self.pods:
+            if not pod.index.check_consistent():
+                return False
+            for fpga_id in pod.board_ids:
+                if fpga_id in seen:
+                    return False
+                seen.add(fpga_id)
+        return seen == set(self._boards)
