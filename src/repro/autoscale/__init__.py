@@ -1,0 +1,18 @@
+"""Elastic replica autoscaling over the serving frontend.
+
+Off by default: nothing here runs unless an :class:`Autoscaler` is
+constructed around a :class:`~repro.serving.frontend.ServingFrontend`
+and armed on a simulator, so the Fig. 12 golden path is untouched.
+"""
+
+from .accounting import ReplicaLedger
+from .autoscaler import Autoscaler, AutoscaleStats, ScaleEvent
+from .policy import AutoscaleParameters
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleParameters",
+    "AutoscaleStats",
+    "ReplicaLedger",
+    "ScaleEvent",
+]

@@ -1,0 +1,90 @@
+"""Replica-second accounting: the cost side of the autoscaling trade.
+
+A :class:`ReplicaLedger` integrates resident capacity over simulated time,
+exactly: the controller notifies it at every deployment instantiation and
+discard, so the integral is piecewise-exact rather than tick-sampled.  Two
+measures are kept per model:
+
+* **replica-seconds** — each deployment contributes its plan's replica
+  count for its lifetime (the fleet-size metric the bench gates on);
+* **block-seconds** — each deployment contributes its block footprint
+  (:meth:`~repro.runtime.controller.SystemController.plan_footprint`),
+  the finer-grained rent a real cloud would bill.
+
+Deployments still resident when a run ends are charged up to the
+evaluation instant passed to :meth:`ReplicaLedger.totals` — callers
+compare arms at one common horizon so an early-finishing run is not
+undercharged.
+"""
+
+from __future__ import annotations
+
+
+class ReplicaLedger:
+    """Exact integral of resident replicas (and blocks) over time."""
+
+    def __init__(self):
+        #: deployment_id -> (model_key, replicas, blocks, opened_s).
+        self._open: dict[str, tuple] = {}
+        #: model_key -> accumulated replica-seconds of closed deployments.
+        self._replica_s: dict[str, float] = {}
+        #: model_key -> accumulated block-seconds of closed deployments.
+        self._block_s: dict[str, float] = {}
+        self.deployments_opened = 0
+        self.deployments_closed = 0
+
+    # -- controller notifications ---------------------------------------------
+
+    def on_instantiate(self, deployment, now: float) -> None:
+        plan = deployment.plan
+        blocks = plan.replicas * min(
+            image.virtual_blocks for image in plan.images.values()
+        )
+        self._open[deployment.deployment_id] = (
+            deployment.model_key, plan.replicas, blocks, now
+        )
+        self.deployments_opened += 1
+
+    def on_discard(self, deployment, now: float) -> None:
+        entry = self._open.pop(deployment.deployment_id, None)
+        if entry is None:
+            return  # instantiated before the ledger was attached
+        model_key, replicas, blocks, opened_s = entry
+        lived = max(0.0, now - opened_s)
+        self._replica_s[model_key] = (
+            self._replica_s.get(model_key, 0.0) + replicas * lived
+        )
+        self._block_s[model_key] = (
+            self._block_s.get(model_key, 0.0) + blocks * lived
+        )
+        self.deployments_closed += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def open_replicas(self, model_key: str | None = None) -> int:
+        """Replica units currently resident (one model, or the fleet)."""
+        return sum(
+            replicas
+            for key, replicas, _, _ in self._open.values()
+            if model_key is None or key == model_key
+        )
+
+    def totals(self, at_s: float) -> dict:
+        """Per-model and aggregate charge up to ``at_s`` (non-destructive:
+        still-open deployments are charged to ``at_s`` without closing)."""
+        replica_s = dict(self._replica_s)
+        block_s = dict(self._block_s)
+        for model_key, replicas, blocks, opened_s in self._open.values():
+            lived = max(0.0, at_s - opened_s)
+            replica_s[model_key] = replica_s.get(model_key, 0.0) + replicas * lived
+            block_s[model_key] = block_s.get(model_key, 0.0) + blocks * lived
+        return {
+            "replica_seconds": sum(replica_s.values()),
+            "block_seconds": sum(block_s.values()),
+            "replica_seconds_by_model": {
+                key: replica_s[key] for key in sorted(replica_s)
+            },
+            "block_seconds_by_model": {
+                key: block_s[key] for key in sorted(block_s)
+            },
+        }

@@ -104,6 +104,15 @@ def _build_parser() -> argparse.ArgumentParser:
                    "in seconds (0 = fault-free, the default)")
     p.add_argument("--seed", type=int, default=7,
                    help="fault-timeline seed (default 7)")
+    p.add_argument("--arrival", default="mmpp",
+                   help="inter-arrival process shaping the stream "
+                   "(poisson, uniform, mmpp, diurnal, pareto, lognormal)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="arm the elastic replica autoscaler over the "
+                   "frontend (repro.autoscale)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full metrics block (admission counters, "
+                   "SLO attainment, drop counts) as JSON instead of prose")
 
     p = sub.add_parser(
         "cluster-status",
@@ -301,6 +310,8 @@ def _cmd_inject_faults(args, out) -> int:
 
 
 def _cmd_serve(args, out) -> int:
+    import json
+
     from .experiments.bench_serving import run_point, serving_parameters
     from dataclasses import replace
 
@@ -315,7 +326,12 @@ def _cmd_serve(args, out) -> int:
         mtbf_s=args.mtbf if args.mtbf > 0 else None,
         params=params,
         fault_seed=args.seed,
+        arrival=args.arrival,
+        autoscale=args.autoscale,
     )
+    if args.json:
+        print(json.dumps(point, indent=1), file=out)
+        return 0
     print(
         f"stream: {point['offered']} offered at "
         f"{point['offered_rate_per_s']:.0f} req/s "
@@ -351,6 +367,17 @@ def _cmd_serve(args, out) -> int:
             f"faults: {point['boards_failed']} board failures, "
             f"{point['recoveries']} deployments recovered "
             f"(mtbf {point['mtbf_s']:g}s, seed {args.seed})",
+            file=out,
+        )
+    if "autoscale" in point:
+        a = point["autoscale"]
+        print(
+            f"autoscale: {a['scale_ups']} ups "
+            f"({a['widenings']} widened / {a['additions']} added), "
+            f"{a['scale_downs']} downs "
+            f"({a['retirements']} retired / {a['narrowings']} narrowed), "
+            f"{a['suppressed']} fault-suppressed, peak units "
+            f"{a['peak_units']}",
             file=out,
         )
     return 0

@@ -39,6 +39,17 @@ in board count, and the largest point's wall-clock gets the same
 
     PYTHONPATH=src python -m repro.experiments.bench_scale --smoke \
         --output benchmarks/baselines/BENCH_scale_smoke.json
+
+And (optionally, via ``--autoscale-current``) the elastic-autoscaling
+smoke report: every trace's own gate must still pass (SLO within its
+margin of the static-peak arm, replica-second savings at or above the
+absolute floor), and the measured savings may not regress more than 25%
+below the committed baseline.  Savings are a within-run ratio of the two
+arms, so this gate is insensitive to absolute runner speed.  Refresh
+with::
+
+    PYTHONPATH=src python -m repro.experiments.bench_autoscale --smoke \
+        --output benchmarks/baselines/BENCH_autoscale_smoke.json
 """
 
 from __future__ import annotations
@@ -61,6 +72,10 @@ BATCH_BASELINE = "benchmarks/baselines/BENCH_batch_smoke.json"
 BATCH_SPEEDUP_DROP_TOLERANCE = 0.25
 
 SCALE_BASELINE = "benchmarks/baselines/BENCH_scale_smoke.json"
+
+AUTOSCALE_BASELINE = "benchmarks/baselines/BENCH_autoscale_smoke.json"
+#: Allowed fractional drop in replica-second savings vs the baseline.
+AUTOSCALE_SAVINGS_DROP_TOLERANCE = 0.25
 
 #: Deterministic work counters (exact comparison, warnings only).
 COUNTER_KEYS = (
@@ -285,6 +300,68 @@ def compare_scale(
     return failures, warnings
 
 
+def compare_autoscale(
+    current: dict,
+    baseline: dict,
+    drop_tolerance: float = AUTOSCALE_SAVINGS_DROP_TOLERANCE,
+) -> tuple:
+    """Elastic-autoscaling regression gate: ``(failures, warnings)``.
+
+    Hard failures: workload mismatch, any trace whose own gate no longer
+    passes (SLO fell more than the bench's margin below the static-peak
+    arm, or replica-second savings dipped under the absolute floor), or a
+    trace's savings more than ``drop_tolerance`` below the committed
+    baseline.  SLO-delta drift inside the margin only warns.
+    """
+    failures: list = []
+    warnings: list = []
+    cur_work = current["workload"]
+    base_work = baseline["workload"]
+    if (
+        cur_work["task_count"] != base_work["task_count"]
+        or cur_work["traces"] != base_work["traces"]
+    ):
+        failures.append(
+            f"autoscale scale mismatch: current {cur_work['task_count']} "
+            f"tasks over {cur_work['traces']} vs baseline "
+            f"{base_work['task_count']} over {base_work['traces']} — "
+            f"comparing different workloads"
+        )
+        return failures, warnings
+    cur_gate = current["gate"]
+    base_gate = baseline["gate"]
+    for trace, base_point in base_gate["per_trace"].items():
+        cur_point = cur_gate["per_trace"].get(trace)
+        if cur_point is None:
+            failures.append(f"autoscale gate lost trace {trace}")
+            continue
+        if not cur_point["pass"]:
+            failures.append(
+                f"autoscale gate failed outright on {trace}: dSLO "
+                f"{cur_point['slo_delta_pp']:.2f} pp (margin "
+                f"{cur_gate['slo_margin_pp']} pp), savings "
+                f"{cur_point['replica_second_savings']:.1%} (floor "
+                f"{cur_gate['savings_floor']:.0%})"
+            )
+            continue
+        base_savings = base_point["replica_second_savings"]
+        cur_savings = cur_point["replica_second_savings"]
+        floor = base_savings * (1.0 - drop_tolerance)
+        if cur_savings < floor:
+            failures.append(
+                f"autoscale savings regression on {trace}: "
+                f"{cur_savings:.1%} vs baseline {base_savings:.1%} "
+                f"(floor {floor:.1%} at {drop_tolerance * 100:.0f}% drop)"
+            )
+        else:
+            warnings.append(
+                f"autoscale savings on {trace}: {cur_savings:.1%} vs "
+                f"baseline {base_savings:.1%}, dSLO "
+                f"{cur_point['slo_delta_pp']:.2f} pp — within tolerance"
+            )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_fig12.json",
@@ -309,6 +386,11 @@ def main(argv=None) -> int:
                         "(omit to skip the scale gate)")
     parser.add_argument("--scale-baseline", default=SCALE_BASELINE,
                         help="committed cluster-scale reference report")
+    parser.add_argument("--autoscale-current", default=None,
+                        help="freshly produced autoscaling smoke report "
+                        "(omit to skip the autoscale gate)")
+    parser.add_argument("--autoscale-baseline", default=AUTOSCALE_BASELINE,
+                        help="committed autoscaling reference report")
     args = parser.parse_args(argv)
     current = json.loads(pathlib.Path(args.current).read_text())
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -345,6 +427,18 @@ def main(argv=None) -> int:
         )
         failures.extend(scale_failures)
         warnings.extend(scale_warnings)
+    if args.autoscale_current:
+        autoscale_current = json.loads(
+            pathlib.Path(args.autoscale_current).read_text()
+        )
+        autoscale_baseline = json.loads(
+            pathlib.Path(args.autoscale_baseline).read_text()
+        )
+        autoscale_failures, autoscale_warnings = compare_autoscale(
+            autoscale_current, autoscale_baseline
+        )
+        failures.extend(autoscale_failures)
+        warnings.extend(autoscale_warnings)
     for message in warnings:
         print(f"[warn] {message}")
     for message in failures:

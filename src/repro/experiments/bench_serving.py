@@ -32,7 +32,7 @@ from ..perf.profiling import PROFILER
 from ..runtime import Catalog, build_system
 from ..serving import Request, ServingFrontend, ServingParameters
 from ..vital import VitalCompiler
-from ..workloads import mmpp_arrivals
+from ..workloads import ARRIVAL_PROCESSES, arrival_process
 
 #: Small serving models (one of each per round-robin turn).
 STREAM_MODELS = ("gru-h512-t1", "lstm-h256-t150", "lstm-h512-t25")
@@ -66,11 +66,14 @@ def serving_parameters() -> ServingParameters:
 
 
 def build_requests(
-    task_count: int, rate_per_s: float, seed: int = ARRIVAL_SEED
+    task_count: int,
+    rate_per_s: float,
+    seed: int = ARRIVAL_SEED,
+    arrival: str = "mmpp",
 ) -> list:
-    """Bursty (MMPP) deadline-carrying request stream, round-robin over
-    the serving models."""
-    arrivals = mmpp_arrivals(task_count, rate_per_s, seed=seed)
+    """Deadline-carrying request stream (default bursty/MMPP gaps),
+    round-robin over the serving models."""
+    arrivals = arrival_process(arrival)(task_count, rate_per_s, seed=seed)
     return [
         Request(
             task_id=index,
@@ -96,13 +99,18 @@ def run_point(
     params: ServingParameters | None = None,
     mttr_s: float = MTTR_S,
     fault_seed: int = FAULT_SEED,
+    arrival: str = "mmpp",
+    autoscale: bool = False,
+    autoscale_params=None,
 ) -> dict:
     """One full serving run at one offered load; returns the metrics
-    block.  ``mtbf_s=None`` runs fault-free.  Shared with ``repro serve``.
+    block.  ``mtbf_s=None`` runs fault-free.  ``autoscale=True`` arms an
+    elastic :class:`~repro.autoscale.Autoscaler` over the frontend.
+    Shared with ``repro serve``.
     """
     PROFILER.reset()
     rate = BASE_RATE_PER_S * load_factor
-    tasks = build_requests(task_count, rate)
+    tasks = build_requests(task_count, rate, arrival=arrival)
     system = build_system(
         "proposed", paper_cluster(), Catalog(VitalCompiler()), recovery=True
     )
@@ -111,6 +119,14 @@ def run_point(
     simulator = ClusterSimulator(
         frontend, f"serving-x{load_factor:g}-mtbf-{label}"
     )
+    autoscaler = None
+    if autoscale:
+        from ..autoscale import Autoscaler
+
+        autoscaler = Autoscaler(frontend, autoscale_params)
+        autoscaler.bind_simulator(simulator)
+        arrival_horizon = tasks[-1].arrival_s if tasks else 0.0
+        autoscaler.arm(arrival_horizon)
     injector = None
     if mtbf_s is not None:
         injector = FaultInjector(
@@ -129,9 +145,10 @@ def run_point(
     wall_s = time.perf_counter() - start
     stats = frontend.stats
     makespan = result.makespan_s
-    return {
+    point = {
         "load_factor": load_factor,
         "offered_rate_per_s": rate,
+        "arrival": arrival,
         "mtbf_s": mtbf_s,
         "offered": stats.offered,
         "admitted": stats.admitted,
@@ -140,6 +157,7 @@ def run_point(
         "abandoned": stats.abandoned,
         "breaker_rejections": stats.breaker_rejections,
         "completed": stats.completed,
+        "dropped": len(result.dropped),
         "slo_hits": stats.slo_hits,
         "slo_attainment": stats.slo_attainment(),
         "slo_admitted": (
@@ -161,9 +179,26 @@ def run_point(
         "recoveries": system.controller.stats.recoveries,
         "recovery_backoff_s": system.controller.stats.recovery_backoff_s,
     }
+    if autoscaler is not None:
+        a = autoscaler.stats
+        point["autoscale"] = {
+            "ticks": a.ticks,
+            "scale_ups": a.scale_ups,
+            "scale_downs": a.scale_downs,
+            "widenings": a.widenings,
+            "additions": a.additions,
+            "retirements": a.retirements,
+            "narrowings": a.narrowings,
+            "suppressed": a.suppressed,
+            "blocked_by_capacity": a.blocked_by_capacity,
+            "peak_units": dict(sorted(a.peak_units.items())),
+        }
+    return point
 
 
-def run_reference(task_count: int, load_factor: float) -> dict:
+def run_reference(
+    task_count: int, load_factor: float, arrival: str = "mmpp"
+) -> dict:
     """The same stream with *no* serving edge: every request is accepted
     and queued forever — the tail the frontend exists to prevent."""
     PROFILER.reset()
@@ -175,7 +210,7 @@ def run_reference(task_count: int, load_factor: float) -> dict:
             arrival_s=request.arrival_s,
             size_class=request.size_class,
         )
-        for request in build_requests(task_count, rate)
+        for request in build_requests(task_count, rate, arrival=arrival)
     ]
     system = build_system(
         "proposed", paper_cluster(), Catalog(VitalCompiler()), recovery=True
@@ -198,25 +233,28 @@ def run_reference(task_count: int, load_factor: float) -> dict:
 def run_bench(
     task_count: int = FULL_TASK_COUNT,
     output: str | pathlib.Path = "BENCH_serving.json",
+    arrival: str = "mmpp",
 ) -> dict:
     """Sweep offered load with and without faults; write the report."""
     sweep = []
     for mtbf_s in (None, MTBF_S):
         for load_factor in LOAD_FACTORS:
-            sweep.append(run_point(task_count, load_factor, mtbf_s))
+            sweep.append(
+                run_point(task_count, load_factor, mtbf_s, arrival=arrival)
+            )
     gate_point = next(
         p
         for p in sweep
         if p["mtbf_s"] == MTBF_S and p["load_factor"] == GATE_LOAD_FACTOR
     )
-    reference = run_reference(task_count, max(LOAD_FACTORS))
+    reference = run_reference(task_count, max(LOAD_FACTORS), arrival=arrival)
     report = {
         "workload": {
             "task_count": task_count,
             "models": list(STREAM_MODELS),
             "base_rate_per_s": BASE_RATE_PER_S,
             "load_factors": list(LOAD_FACTORS),
-            "arrival_process": "mmpp",
+            "arrival_process": arrival,
             "arrival_seed": ARRIVAL_SEED,
             "deadline_s": DEADLINE_S,
             "mtbf_s": MTBF_S,
@@ -252,9 +290,17 @@ def main(argv=None) -> None:
         help=f"CI scale: {SMOKE_TASK_COUNT} tasks",
     )
     parser.add_argument("--output", default="BENCH_serving.json")
+    parser.add_argument(
+        "--arrival",
+        choices=sorted(ARRIVAL_PROCESSES),
+        default="mmpp",
+        help="inter-arrival process shaping the request stream",
+    )
     args = parser.parse_args(argv)
     task_count = SMOKE_TASK_COUNT if args.smoke else args.tasks
-    report = run_bench(task_count=task_count, output=args.output)
+    report = run_bench(
+        task_count=task_count, output=args.output, arrival=args.arrival
+    )
     for point in report["sweep"]:
         faults = "faults" if point["mtbf_s"] else "clean "
         print(

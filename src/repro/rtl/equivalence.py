@@ -94,7 +94,10 @@ def _wl_hash(graph: nx.Graph) -> str:
     return hashlib.sha256(repr(histogram).encode()).hexdigest()[:24]
 
 
-# Signatures are cached per (design identity, module name).  Designs are
+# Signatures are cached per (design serial, module name).  The serial is
+# Design.uid — process-unique, unlike id(), which CPython recycles and
+# which let a freshly allocated design inherit a dead design's cached
+# signatures (a rare, allocation-order-dependent corruption).  Designs are
 # treated as immutable once decomposition starts; mutating a design after
 # hashing it is a usage error.
 _signature_cache: dict = {}
@@ -108,7 +111,7 @@ def structural_signature(design: Design, module_name: str) -> str:
     """
     if not design.has_module(module_name):
         return "cell:" + module_name
-    cache_key = (id(design), module_name)
+    cache_key = (design.uid, module_name)
     cached = _signature_cache.get(cache_key)
     if cached is not None:
         return cached

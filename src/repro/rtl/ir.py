@@ -20,6 +20,7 @@ Conventions:
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -216,10 +217,16 @@ class Design:
     here.
     """
 
+    #: Process-unique serials.  ``id(design)`` is NOT a safe cache key —
+    #: CPython recycles addresses of collected objects, so a new design
+    #: can inherit a dead design's memoised signatures.
+    _uids = itertools.count()
+
     def __init__(self, name: str, top: str | None = None):
         self.name = name
         self.modules: dict[str, Module] = {}
         self._top = top
+        self.uid = next(Design._uids)
 
     # -- construction -----------------------------------------------------------
 

@@ -347,6 +347,10 @@ class SystemController:
         self._service_cache: dict = {}
         #: model key -> resident deployments in creation order.
         self._by_model: dict[str, list[Deployment]] = {}
+        #: Optional :class:`~repro.autoscale.ReplicaLedger`: when set, every
+        #: instantiation/discard is reported so resident capacity can be
+        #: integrated exactly over time (the autoscale bench's cost metric).
+        self.ledger = None
 
     # -- public API (what the hypervisor calls) -------------------------------------
 
@@ -358,6 +362,21 @@ class SystemController:
         one-shots).
         """
         self._simulator = simulator
+
+    def _now(self) -> float:
+        """Current simulated time, or 0.0 in synchronous mode (paths that
+        already carry ``now`` should pass it instead of calling this)."""
+        if self._simulator is not None:
+            return self._simulator.queue.now
+        return 0.0
+
+    def deployments_of(self, model_key: str) -> list:
+        """Resident deployments of one model, in creation order."""
+        return list(self._by_model.get(model_key, ()))
+
+    def models_resident(self) -> list:
+        """Model keys with at least one resident deployment."""
+        return list(self._by_model)
 
     def find_idle_deployment(self, model_key: str) -> Deployment | None:
         """An already-resident idle deployment of this model, if any."""
@@ -480,6 +499,8 @@ class SystemController:
             self.low_level.release(board, deployment.deployment_id)
             self.untrack_resident(placement.fpga_id, deployment.deployment_id)
         self.deployments.pop(deployment.deployment_id, None)
+        if self.ledger is not None:
+            self.ledger.on_discard(deployment, self._now())
         siblings = self._by_model.get(deployment.model_key)
         if siblings is not None:
             try:
@@ -833,6 +854,8 @@ class SystemController:
             self.track_resident(placement.fpga_id, deployment_id)
         self._by_model.setdefault(plan.model_key, []).append(deployment)
         self.stats.deployments_created += 1
+        if self.ledger is not None:
+            self.ledger.on_instantiate(deployment, now)
         return deployment, reconfig
 
     def _service_time(self, plan: DeploymentPlan, placements: list) -> float:

@@ -69,6 +69,12 @@ class ProposedSystem:
             else:
                 self.batch_executor = batching
         self._running: dict[int, object] = {}
+        #: Reactive queue-pressure expansion (grow an already-deployed
+        #: model on demand).  An attached :class:`~repro.autoscale.
+        #: Autoscaler` clears this and takes ownership of elasticity —
+        #: two uncoordinated growth loops over-provision and fight each
+        #: other's scale-downs.
+        self.expansion_enabled = True
         #: Set when a :class:`~repro.cluster.simulator.ClusterSimulator`
         #: adopts this scheduler; migrations become first-class DES events.
         self._simulator = None
@@ -109,6 +115,8 @@ class ProposedSystem:
     def _expansion_allowed(self, model_key: str) -> bool:
         """Fairness: a model with copies yields space to pending models
         that have none at all."""
+        if not self.expansion_enabled:
+            return False
         view = getattr(self, "_queue_view", {})
         for other_key, depth in view.items():
             if other_key == model_key or depth <= 0:
@@ -223,6 +231,11 @@ class ProposedSystem:
             return math.inf
         patience = controller.eviction_patience_s
         if controller.deployment_count(task.model_key) > 0:
+            if not self.expansion_enabled:
+                # Elasticity belongs to the autoscaler: only a release or
+                # its next scaling event (an external event that bumps the
+                # resource version) can unblock this task.
+                return math.inf
             view = getattr(self, "_queue_view", {})
             if view.get(task.model_key, 0) < self.EXPANSION_PRESSURE:
                 # Expansion without pressure never evicts (waited is zeroed):

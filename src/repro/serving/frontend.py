@@ -118,6 +118,9 @@ class ServingFrontend:
         self._clock = 0.0
         self.brownout = False
         self._simulator = None
+        #: Optional elastic autoscaler (:mod:`repro.autoscale`); attached
+        #: via :meth:`attach_autoscaler`, observes every offered arrival.
+        self.autoscaler = None
         if self.params.breaker_enabled:
             for board in self.cluster.boards.values():
                 board.subscribe_health(self._on_board_health)
@@ -127,6 +130,33 @@ class ServingFrontend:
     def bind_simulator(self, simulator) -> None:
         self._simulator = simulator
         self.system.bind_simulator(simulator)
+        if self.autoscaler is not None:
+            self.autoscaler.bind_simulator(simulator)
+        # Probes queued while unbound become first-class DES events now —
+        # without this hand-off a probe scheduled before binding would
+        # only ever fire piggybacked on an unrelated admit/try_start call.
+        if self._due:
+            now = simulator.queue.now
+            for due_s, breaker in self._due:
+                simulator.schedule_external(
+                    max(0.0, due_s - now),
+                    lambda fire_now, b=breaker: self._probe(b, fire_now),
+                )
+            self._due = []
+
+    def attach_autoscaler(self, autoscaler) -> None:
+        """Adopt an :class:`~repro.autoscale.Autoscaler` (it calls this
+        from its constructor); forwards the simulator if already bound."""
+        self.autoscaler = autoscaler
+        if self._simulator is not None:
+            autoscaler.bind_simulator(self._simulator)
+
+    def queue_depth(self, model_key: str | None = None) -> int:
+        """Live queued (admitted, not started) requests — one model's, or
+        every model's.  The autoscaler's primary pressure signal."""
+        if model_key is not None:
+            return self._depth.get(model_key, 0)
+        return sum(self._depth.values())
 
     def _now(self) -> float:
         if self._simulator is not None:
@@ -171,6 +201,8 @@ class ServingFrontend:
         record = self._record(task, now)
         self.stats.offered += 1
         model = task.model_key
+        if self.autoscaler is not None:
+            self.autoscaler.observe_arrival(model, now)
         bucket = self._bucket(model)
         if bucket is not None and not bucket.try_take(now):
             return self._shed_at_door(record)

@@ -24,22 +24,30 @@ from .synthetic import (
     save_trace,
 )
 from .arrival import (
+    ARRIVAL_PROCESSES,
+    arrival_process,
     diurnal_arrivals,
+    lognormal_arrivals,
     mmpp_arrivals,
+    pareto_arrivals,
     poisson_arrivals,
     uniform_arrivals,
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "MODEL_POOL",
     "ModelSpec",
     "TABLE1_COMPOSITIONS",
     "TABLE4_BENCHMARKS",
     "WorkloadComposition",
+    "arrival_process",
     "diurnal_arrivals",
     "generate_workload",
     "load_trace",
+    "lognormal_arrivals",
     "mmpp_arrivals",
+    "pareto_arrivals",
     "save_trace",
     "model_by_key",
     "poisson_arrivals",

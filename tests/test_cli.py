@@ -138,3 +138,30 @@ class TestServe:
         assert "shed" in text
         assert "faults:" in text
         assert "recovered" in text
+
+    def test_json_output_includes_drops_and_stats(self):
+        import json
+
+        text = _run("serve", "--tasks", "40", "--load", "2", "--json")
+        point = json.loads(text)
+        assert point["offered"] == 40
+        assert "dropped" in point
+        assert "slo_admitted" in point
+        assert point["arrival"] == "mmpp"
+
+    def test_autoscale_flag_reports_decisions(self):
+        text = _run(
+            "serve", "--tasks", "120", "--load", "4", "--autoscale",
+            "--deadline", "0.25",
+        )
+        assert "autoscale:" in text
+        assert "ups" in text and "downs" in text
+
+    def test_arrival_flag_selects_process(self):
+        text = _run(
+            "serve", "--tasks", "40", "--load", "2",
+            "--arrival", "pareto", "--json",
+        )
+        import json
+
+        assert json.loads(text)["arrival"] == "pareto"

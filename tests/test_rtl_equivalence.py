@@ -107,6 +107,28 @@ class TestSignatures:
             design, "a2"
         )
 
+    def test_cache_survives_design_address_reuse(self):
+        # The cache must key on Design.uid, not id(design): CPython
+        # recycles addresses of collected objects, and an id-keyed cache
+        # let a fresh design inherit a dead design's signatures (a rare
+        # allocation-order-dependent flake in the determinism tests).
+        from repro.rtl.equivalence import _signature_cache
+
+        db = DesignBuilder("d1")
+        _two_stage_module(db, "m", cell="FP16_ADD")
+        first = db.top("m").build()
+        sig_add = structural_signature(first, "m")
+        uid_first = first.uid
+        del first
+        db = DesignBuilder("d2")
+        _two_stage_module(db, "m", cell="FP16_MUL")
+        second = db.top("m").build()
+        # Even if the new design lands on the recycled address, its uid —
+        # and therefore its cache row — is fresh.
+        assert second.uid != uid_first
+        assert structural_signature(second, "m") != sig_add
+        assert (second.uid, "m") in _signature_cache
+
     def test_primitive_signature(self):
         db = DesignBuilder("d")
         db.module("m").build()
