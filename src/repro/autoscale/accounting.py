@@ -15,6 +15,12 @@ Deployments still resident when a run ends are charged up to the
 evaluation instant passed to :meth:`ReplicaLedger.totals` — callers
 compare arms at one common horizon so an early-finishing run is not
 undercharged.
+
+The ledger also carries the **tenant axis** (multi-tenancy layer): every
+entry is keyed by the deployment's owning tenant, instantaneous per-tenant
+open blocks/replicas are maintained incrementally, and the *peak* of each
+is recorded — ``peak_open_blocks[tenant] <= quota`` is exactly the "zero
+quota violations" check the tenancy bench gates on, with no sampling gap.
 """
 
 from __future__ import annotations
@@ -24,12 +30,24 @@ class ReplicaLedger:
     """Exact integral of resident replicas (and blocks) over time."""
 
     def __init__(self):
-        #: deployment_id -> (model_key, replicas, blocks, opened_s).
+        #: deployment_id -> (model_key, replicas, blocks, opened_s, tenant).
         self._open: dict[str, tuple] = {}
         #: model_key -> accumulated replica-seconds of closed deployments.
         self._replica_s: dict[str, float] = {}
         #: model_key -> accumulated block-seconds of closed deployments.
         self._block_s: dict[str, float] = {}
+        #: tenant -> accumulated replica-seconds of closed deployments.
+        self._replica_s_by_tenant: dict[str, float] = {}
+        #: tenant -> accumulated block-seconds of closed deployments.
+        self._block_s_by_tenant: dict[str, float] = {}
+        #: tenant -> blocks currently resident (incremental, exact).
+        self._open_blocks_by_tenant: dict[str, int] = {}
+        #: tenant -> replica units currently resident.
+        self._open_replicas_by_tenant: dict[str, int] = {}
+        #: tenant -> historical maximum of the instantaneous open blocks.
+        self.peak_open_blocks: dict[str, int] = {}
+        #: tenant -> historical maximum of the instantaneous open replicas.
+        self.peak_open_replicas: dict[str, int] = {}
         self.deployments_opened = 0
         self.deployments_closed = 0
 
@@ -40,16 +58,27 @@ class ReplicaLedger:
         blocks = plan.replicas * min(
             image.virtual_blocks for image in plan.images.values()
         )
+        tenant = getattr(deployment, "tenant", "")
         self._open[deployment.deployment_id] = (
-            deployment.model_key, plan.replicas, blocks, now
+            deployment.model_key, plan.replicas, blocks, now, tenant
         )
+        open_blocks = self._open_blocks_by_tenant.get(tenant, 0) + blocks
+        self._open_blocks_by_tenant[tenant] = open_blocks
+        open_replicas = (
+            self._open_replicas_by_tenant.get(tenant, 0) + plan.replicas
+        )
+        self._open_replicas_by_tenant[tenant] = open_replicas
+        if open_blocks > self.peak_open_blocks.get(tenant, 0):
+            self.peak_open_blocks[tenant] = open_blocks
+        if open_replicas > self.peak_open_replicas.get(tenant, 0):
+            self.peak_open_replicas[tenant] = open_replicas
         self.deployments_opened += 1
 
     def on_discard(self, deployment, now: float) -> None:
         entry = self._open.pop(deployment.deployment_id, None)
         if entry is None:
             return  # instantiated before the ledger was attached
-        model_key, replicas, blocks, opened_s = entry
+        model_key, replicas, blocks, opened_s, tenant = entry
         lived = max(0.0, now - opened_s)
         self._replica_s[model_key] = (
             self._replica_s.get(model_key, 0.0) + replicas * lived
@@ -57,27 +86,65 @@ class ReplicaLedger:
         self._block_s[model_key] = (
             self._block_s.get(model_key, 0.0) + blocks * lived
         )
+        self._replica_s_by_tenant[tenant] = (
+            self._replica_s_by_tenant.get(tenant, 0.0) + replicas * lived
+        )
+        self._block_s_by_tenant[tenant] = (
+            self._block_s_by_tenant.get(tenant, 0.0) + blocks * lived
+        )
+        self._open_blocks_by_tenant[tenant] -= blocks
+        self._open_replicas_by_tenant[tenant] -= replicas
         self.deployments_closed += 1
 
     # -- queries ----------------------------------------------------------------
 
-    def open_replicas(self, model_key: str | None = None) -> int:
-        """Replica units currently resident (one model, or the fleet)."""
+    def open_replicas(
+        self, model_key: str | None = None, tenant: str | None = None
+    ) -> int:
+        """Replica units currently resident, filtered by model and/or
+        tenant (``None`` = all)."""
+        if model_key is None and tenant is not None:
+            return self._open_replicas_by_tenant.get(tenant, 0)
         return sum(
             replicas
-            for key, replicas, _, _ in self._open.values()
-            if model_key is None or key == model_key
+            for key, replicas, _, _, owner in self._open.values()
+            if (model_key is None or key == model_key)
+            and (tenant is None or owner == tenant)
+        )
+
+    def open_blocks(
+        self, tenant: str | None = None, model_key: str | None = None
+    ) -> int:
+        """Virtual blocks currently resident, filtered by tenant and/or
+        model.  The tenant-only form is O(1) — the quota guard sits on the
+        placement hot path."""
+        if model_key is None and tenant is not None:
+            return self._open_blocks_by_tenant.get(tenant, 0)
+        return sum(
+            blocks
+            for key, _, blocks, _, owner in self._open.values()
+            if (model_key is None or key == model_key)
+            and (tenant is None or owner == tenant)
         )
 
     def totals(self, at_s: float) -> dict:
-        """Per-model and aggregate charge up to ``at_s`` (non-destructive:
-        still-open deployments are charged to ``at_s`` without closing)."""
+        """Per-model, per-tenant and aggregate charge up to ``at_s``
+        (non-destructive: still-open deployments are charged to ``at_s``
+        without closing)."""
         replica_s = dict(self._replica_s)
         block_s = dict(self._block_s)
-        for model_key, replicas, blocks, opened_s in self._open.values():
+        tenant_replica_s = dict(self._replica_s_by_tenant)
+        tenant_block_s = dict(self._block_s_by_tenant)
+        for model_key, replicas, blocks, opened_s, tenant in self._open.values():
             lived = max(0.0, at_s - opened_s)
             replica_s[model_key] = replica_s.get(model_key, 0.0) + replicas * lived
             block_s[model_key] = block_s.get(model_key, 0.0) + blocks * lived
+            tenant_replica_s[tenant] = (
+                tenant_replica_s.get(tenant, 0.0) + replicas * lived
+            )
+            tenant_block_s[tenant] = (
+                tenant_block_s.get(tenant, 0.0) + blocks * lived
+            )
         return {
             "replica_seconds": sum(replica_s.values()),
             "block_seconds": sum(block_s.values()),
@@ -86,5 +153,11 @@ class ReplicaLedger:
             },
             "block_seconds_by_model": {
                 key: block_s[key] for key in sorted(block_s)
+            },
+            "replica_seconds_by_tenant": {
+                key: tenant_replica_s[key] for key in sorted(tenant_replica_s)
+            },
+            "block_seconds_by_tenant": {
+                key: tenant_block_s[key] for key in sorted(tenant_block_s)
             },
         }

@@ -13,6 +13,8 @@ Commands mirror the paper's workflow:
 * ``inject-faults``     — seeded board-failure run with automatic recovery.
 * ``serve``             — bursty stream through the overload-robust
   serving frontend (admission, deadlines, retries, breakers, brownout).
+* ``tenancy``           — premium + best-effort tenant mix under overload
+  (quotas, weighted fair share, priority preemption).
 * ``cluster-status``    — per-board occupancy, free histograms, fragmentation.
 * ``all``               — regenerate everything (what EXPERIMENTS.md records).
 """
@@ -113,6 +115,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full metrics block (admission counters, "
                    "SLO attainment, drop counts) as JSON instead of prose")
+
+    p = sub.add_parser(
+        "tenancy",
+        help="run a premium + best-effort tenant mix under 2x overload "
+        "through the multi-tenant fairness layer (quotas, weighted fair "
+        "share, priority preemption with checkpoint + requeue)",
+    )
+    p.add_argument("--tasks", type=int, default=160,
+                   help="total tasks across both tenants (default 160)")
+    p.add_argument("--trace", default="poisson",
+                   help="inter-arrival process shaping both streams "
+                   "(poisson, uniform, mmpp, diurnal, pareto, lognormal)")
+    p.add_argument("--output", default=None,
+                   help="also write the full BENCH_tenancy-style report "
+                   "to this path")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON instead of prose")
 
     p = sub.add_parser(
         "cluster-status",
@@ -383,6 +402,63 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _cmd_tenancy(args, out) -> int:
+    import json
+
+    from .experiments.bench_tenancy import PREMIUM, run_bench
+
+    report = run_bench(
+        task_count=args.tasks, output=args.output, trace=args.trace
+    )
+    if args.json:
+        print(json.dumps(report, indent=1), file=out)
+        return 0
+    workload = report["workload"]
+    print(
+        f"workload: {workload['task_count']} tasks on "
+        f"{workload['boards']} boards ({workload['pod_size']}-board pods), "
+        f"x{workload['overload_factor']:g} overload, {workload['trace']} "
+        f"arrivals",
+        file=out,
+    )
+    for tenant in workload["tenants"]:
+        print(
+            f"  tenant {tenant['name']}: priority {tenant['priority']}, "
+            f"weight {tenant['weight']:g}, block quota "
+            f"{tenant['block_quota']}, "
+            f"{'preemptible' if tenant['preemptible'] else 'protected'}",
+            file=out,
+        )
+    for key in ("premium_solo", "mixed_untenanted", "mixed_tenancy"):
+        arm = report[key]
+        premium = arm["tenants"].get(PREMIUM, {})
+        print(
+            f"{key}: {arm['completed']}/{arm['offered']} completed, "
+            f"premium p99 {premium.get('p99_s', 0.0) * 1e3:.2f} ms, "
+            f"quota rejections {arm['quota_rejections']}",
+            file=out,
+        )
+    tenancy = report["mixed_tenancy"]["tenancy"]
+    print(
+        f"preemption: {tenancy['preemption_sweeps']} sweeps, "
+        f"{tenancy['deployments_preempted']} deployments / "
+        f"{tenancy['tasks_preempted']} tasks preempted, recovery rate "
+        f"{tenancy['recovery_rate']:.3f}, checkpoint cost "
+        f"{tenancy['checkpoint_s'] * 1e3:.3f} ms",
+        file=out,
+    )
+    gate = report["gate"]
+    print(
+        f"gate: p99 ratio {gate['p99_ratio']:.2f} <= "
+        f"{gate['p99_bound_factor']:g}, quota violations "
+        f"{gate['quota_violations']}, recovery "
+        f"{gate['recovery_rate']:.3f} -> "
+        f"{'PASS' if gate['pass'] else 'FAIL'}",
+        file=out,
+    )
+    return 0
+
+
 def _run_experiment(name: str, args, out) -> int:
     from . import experiments
     from .experiments import (
@@ -438,6 +514,8 @@ def main(argv=None, out=None) -> int:
         return _cmd_inject_faults(args, out)
     if command == "serve":
         return _cmd_serve(args, out)
+    if command == "tenancy":
+        return _cmd_tenancy(args, out)
     if command == "all":
         for name in ("table2", "table3", "table4", "fig11", "fig12",
                      "compile-overhead", "isolation"):

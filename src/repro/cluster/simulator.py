@@ -51,6 +51,9 @@ class Task:
     payload: object = None
     #: Final hidden state once a batch executor has run this task.
     output: object = None
+    #: Owning tenant (multi-tenancy layer); ``""`` means untenanted and
+    #: preserves the single-tenant paths bit-identically.
+    tenant: str = ""
 
     @property
     def latency_s(self) -> float:
@@ -101,6 +104,13 @@ class Scheduler(Protocol):
         live time gate (deadline, retry backoff) that will eventually fire.
         Suppresses the idle-cluster deadlock detector, which otherwise has
         no way to tell a waiting queue from a wedged one."""
+
+    def dispatch_key(self, task: Task) -> tuple:
+        """Optional (tenancy layer): total dispatch order for one scan pass.
+        When present it *replaces* the :meth:`has_fast_path` locality sort —
+        the scheduler owns ordering entirely (priority classes, weighted
+        fair shares).  Like ``has_fast_path``, the key must be stable while
+        one pass's sort runs; state updated by starts feeds the next pass."""
 
 
 @dataclass
@@ -171,6 +181,11 @@ class ClusterSimulator:
         #: resources and will bump the version when they complete, so an
         #: idle queue is not a deadlock while any are outstanding.
         self._external_inflight = 0
+        #: task_id -> run epoch.  A preemption (:meth:`abort_running`) bumps
+        #: the epoch so the already-scheduled finish event for the aborted
+        #: run is recognised as stale and ignored; the requeued task's next
+        #: start schedules a finish carrying the new epoch.
+        self._run_epoch: dict[int, int] = {}
         bind = getattr(scheduler, "bind_simulator", None)
         if bind is not None:
             bind(self)
@@ -220,6 +235,35 @@ class ClusterSimulator:
         self._resource_version += 1
         self._dispatch()
 
+    # -- preemption (tenancy layer) ----------------------------------------------
+
+    def abort_running(self, task: Task) -> None:
+        """Abort a *running* task and requeue it (preemption).
+
+        The task's already-scheduled finish event becomes stale (epoch
+        guard) and the task re-enters the pending queue immediately —
+        at its original scan position when its tombstone is still live,
+        at the tail otherwise.  The caller (the tenancy scheduler) is
+        responsible for the board-side teardown and for crediting any
+        checkpointed progress on the next start.
+        """
+        if task.start_s < 0 or task.finish_s >= 0:
+            raise SimulationError(
+                f"abort_running: task {task.task_id} is not running"
+            )
+        self._run_epoch[task.task_id] = self._run_epoch.get(task.task_id, 0) + 1
+        self._running_count -= 1
+        task.start_s = -1.0
+        if task.task_id in self._pending_dead:
+            # Not yet compacted: resurrect the original queue entry so the
+            # per-model FIFO scan order is preserved exactly.
+            self._pending_dead.discard(task.task_id)
+        else:
+            self._pending.append(task)
+        PROFILER.incr("simulator.aborted_runs")
+        self._resource_version += 1
+        self._dispatch()
+
     # -- event handlers ----------------------------------------------------------
 
     def _arrive(self, task: Task) -> None:
@@ -254,6 +298,7 @@ class ClusterSimulator:
             return  # avoid re-entrant scans from nested on_finish calls
         self._dispatching = True
         fast_path = getattr(self.scheduler, "has_fast_path", None)
+        dispatch_key = getattr(self.scheduler, "dispatch_key", None)
         observe = getattr(self.scheduler, "observe_queue", None)
         retry_hint = getattr(self.scheduler, "retry_hint", None)
         should_drop = getattr(self.scheduler, "should_drop", None)
@@ -273,7 +318,13 @@ class ClusterSimulator:
                         )
                     observe(counts)
                 scan = self._pending_tasks()
-                if fast_path is not None:
+                if dispatch_key is not None:
+                    # The tenancy layer owns dispatch order outright:
+                    # priority classes first, weighted fair shares within
+                    # one class.  Key purity over a pass mirrors the
+                    # has_fast_path contract below.
+                    scan.sort(key=dispatch_key)
+                elif fast_path is not None:
                     # Locality pass: tasks whose model is already resident
                     # start first, so a cold task never evicts a hot model
                     # out from under its queued work.  The answer is a pure
@@ -338,7 +389,12 @@ class ClusterSimulator:
                     # Starting a task reshapes resources (allocation, possible
                     # evictions, queue depth): every watermark is stale.
                     self._resource_version += 1
-                    self.queue.schedule_in(service, self._finish, task)
+                    self.queue.schedule_in(
+                        service,
+                        self._finish,
+                        task,
+                        self._run_epoch.get(task.task_id, 0),
+                    )
                     progress = True
                     self._idle_retries = 0
         finally:
@@ -365,7 +421,13 @@ class ClusterSimulator:
         self._retry_scheduled = False
         self._dispatch()
 
-    def _finish(self, task: Task) -> None:
+    def _finish(self, task: Task, epoch: int = 0) -> None:
+        if self._run_epoch.get(task.task_id, 0) != epoch:
+            # Stale completion of a preempted run: the task was aborted and
+            # requeued after this event was scheduled.  Ignore it.  The
+            # epoch entry is deliberately never popped — a still-in-flight
+            # stale event would otherwise match the dict's default again.
+            return
         task.finish_s = self.queue.now
         self._running_count -= 1
         self.scheduler.on_finish(task, self.queue.now)

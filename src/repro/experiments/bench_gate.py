@@ -50,6 +50,21 @@ with::
 
     PYTHONPATH=src python -m repro.experiments.bench_autoscale --smoke \
         --output benchmarks/baselines/BENCH_autoscale_smoke.json
+
+And (optionally, via ``--tenancy-current``) the multi-tenancy smoke
+report: the tenancy arm's own gate must still pass (zero quota
+violations, premium p99 within its solo-run bound, every preempted task
+recovered), and the premium tenant's mixed-arm p99 may not regress more
+than 25% over the committed baseline.  Refresh with::
+
+    PYTHONPATH=src python -m repro.experiments.bench_tenancy --smoke \
+        --output benchmarks/baselines/BENCH_tenancy_smoke.json
+
+``--all-current`` runs every gate at once against the default produced
+report names (``BENCH_fig12.json``, ``BENCH_serving.json``,
+``BENCH_batch.json``, ``BENCH_scale.json``, ``BENCH_autoscale.json``,
+``BENCH_tenancy.json``) and the committed baselines — the single CI
+entry point.
 """
 
 from __future__ import annotations
@@ -76,6 +91,21 @@ SCALE_BASELINE = "benchmarks/baselines/BENCH_scale_smoke.json"
 AUTOSCALE_BASELINE = "benchmarks/baselines/BENCH_autoscale_smoke.json"
 #: Allowed fractional drop in replica-second savings vs the baseline.
 AUTOSCALE_SAVINGS_DROP_TOLERANCE = 0.25
+
+TENANCY_BASELINE = "benchmarks/baselines/BENCH_tenancy_smoke.json"
+#: Allowed fractional growth of the premium tenant's mixed-arm p99 over
+#: the committed baseline.
+TENANCY_P99_DRIFT_TOLERANCE = 0.25
+
+#: ``--all-current`` shorthand: every gate's default produced report.
+ALL_CURRENT_DEFAULTS = {
+    "current": "BENCH_fig12.json",
+    "serving_current": "BENCH_serving.json",
+    "batch_current": "BENCH_batch.json",
+    "scale_current": "BENCH_scale.json",
+    "autoscale_current": "BENCH_autoscale.json",
+    "tenancy_current": "BENCH_tenancy.json",
+}
 
 #: Deterministic work counters (exact comparison, warnings only).
 COUNTER_KEYS = (
@@ -362,10 +392,97 @@ def compare_autoscale(
     return failures, warnings
 
 
+def compare_tenancy(
+    current: dict,
+    baseline: dict,
+    drift_tolerance: float = TENANCY_P99_DRIFT_TOLERANCE,
+) -> tuple:
+    """Multi-tenancy regression gate: ``(failures, warnings)``.
+
+    Hard failures: workload mismatch, any quota violation (the ledger's
+    per-tenant peak resident usage exceeded a quota — the layer's
+    zero-violation contract), the bench's own gate no longer passing
+    (premium p99 out of its solo-run bound, or a preempted task never
+    completing), or the premium tenant's mixed-arm p99 more than
+    ``drift_tolerance`` above the committed baseline.  Preemption-count
+    drift only warns (deterministic counters; the tenancy tests
+    arbitrate behaviour changes).
+
+    Unlike the other gates, a workload mismatch is not fatal: the
+    zero-violation / recovery / p99-bound checks are intrinsic to the
+    run (each arm carries its own solo reference), so the nightly
+    full-scale report is gated on those and only the baseline-drift
+    comparison is skipped, with a warning."""
+    failures: list = []
+    warnings: list = []
+    cur_work = current["workload"]
+    base_work = baseline["workload"]
+    same_workload = (
+        cur_work["task_count"] == base_work["task_count"]
+        and cur_work["boards"] == base_work["boards"]
+    )
+    if not same_workload:
+        warnings.append(
+            f"tenancy workload differs from baseline: "
+            f"{cur_work['task_count']} tasks on {cur_work['boards']} "
+            f"boards vs baseline {base_work['task_count']} on "
+            f"{base_work['boards']} — intrinsic checks only, baseline "
+            f"drift comparison skipped"
+        )
+    cur_gate = current["gate"]
+    base_gate = baseline["gate"]
+    if cur_gate["quota_violations"]:
+        failures.append(
+            f"tenant quota violated: {cur_gate['quota_violations']} "
+            f"(the quota guard's zero-violation contract is broken)"
+        )
+    if cur_gate["recovery_rate"] < 1.0:
+        failures.append(
+            f"preempted work lost: recovery rate "
+            f"{cur_gate['recovery_rate']:.3f} < 1.0 "
+            f"({cur_gate['tasks_preempted']} preemptions)"
+        )
+    if not cur_gate["pass"]:
+        failures.append(
+            f"tenancy gate point failed outright: premium p99 "
+            f"{cur_gate['premium_mixed_p99_s'] * 1e3:.2f} ms vs solo "
+            f"{cur_gate['premium_solo_p99_s'] * 1e3:.2f} ms "
+            f"(bound {cur_gate['p99_bound_factor']:g}x)"
+        )
+    if not same_workload:
+        return failures, warnings
+    base_p99 = base_gate["premium_mixed_p99_s"]
+    cur_p99 = cur_gate["premium_mixed_p99_s"]
+    ceiling = base_p99 * (1.0 + drift_tolerance)
+    if base_p99 and cur_p99 > ceiling:
+        failures.append(
+            f"premium p99 regression: {cur_p99 * 1e3:.2f} ms vs baseline "
+            f"{base_p99 * 1e3:.2f} ms (ceiling {ceiling * 1e3:.2f} ms at "
+            f"{drift_tolerance * 100:.0f}% drift)"
+        )
+    else:
+        warnings.append(
+            f"tenancy premium p99: {cur_p99 * 1e3:.2f} ms vs baseline "
+            f"{base_p99 * 1e3:.2f} ms — within tolerance"
+        )
+    cur_tenancy = current["mixed_tenancy"]["tenancy"]
+    base_tenancy = baseline["mixed_tenancy"]["tenancy"]
+    for key in ("preemption_sweeps", "tasks_preempted", "quota_sheds"):
+        if cur_tenancy.get(key) != base_tenancy.get(key):
+            warnings.append(
+                f"counter drift: tenancy.{key} "
+                f"{base_tenancy.get(key)} -> {cur_tenancy.get(key)} "
+                f"(behaviour change — the tenancy tests arbitrate)"
+            )
+    return failures, warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", default="BENCH_fig12.json",
-                        help="freshly produced smoke report")
+                        help="freshly produced smoke report (pass an empty "
+                        "string to skip the fig12 gate, e.g. when gating a "
+                        "full-scale report that has no smoke counterpart)")
     parser.add_argument("--baseline", default=DEFAULT_BASELINE,
                         help="committed reference report")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -391,10 +508,26 @@ def main(argv=None) -> int:
                         "(omit to skip the autoscale gate)")
     parser.add_argument("--autoscale-baseline", default=AUTOSCALE_BASELINE,
                         help="committed autoscaling reference report")
+    parser.add_argument("--tenancy-current", default=None,
+                        help="freshly produced multi-tenancy smoke report "
+                        "(omit to skip the tenancy gate)")
+    parser.add_argument("--tenancy-baseline", default=TENANCY_BASELINE,
+                        help="committed multi-tenancy reference report")
+    parser.add_argument("--all-current", action="store_true",
+                        help="run every gate against the default produced "
+                        "report names and committed baselines (the single "
+                        "CI entry point)")
     args = parser.parse_args(argv)
-    current = json.loads(pathlib.Path(args.current).read_text())
-    baseline = json.loads(pathlib.Path(args.baseline).read_text())
-    failures, warnings = compare(current, baseline, args.tolerance)
+    if args.all_current:
+        for attr, default in ALL_CURRENT_DEFAULTS.items():
+            if getattr(args, attr) in (None, parser.get_default(attr)):
+                setattr(args, attr, default)
+    failures: list = []
+    warnings: list = []
+    if args.current:
+        current = json.loads(pathlib.Path(args.current).read_text())
+        baseline = json.loads(pathlib.Path(args.baseline).read_text())
+        failures, warnings = compare(current, baseline, args.tolerance)
     if args.serving_current:
         serving_current = json.loads(
             pathlib.Path(args.serving_current).read_text()
@@ -439,6 +572,18 @@ def main(argv=None) -> int:
         )
         failures.extend(autoscale_failures)
         warnings.extend(autoscale_warnings)
+    if args.tenancy_current:
+        tenancy_current = json.loads(
+            pathlib.Path(args.tenancy_current).read_text()
+        )
+        tenancy_baseline = json.loads(
+            pathlib.Path(args.tenancy_baseline).read_text()
+        )
+        tenancy_failures, tenancy_warnings = compare_tenancy(
+            tenancy_current, tenancy_baseline
+        )
+        failures.extend(tenancy_failures)
+        warnings.extend(tenancy_warnings)
     for message in warnings:
         print(f"[warn] {message}")
     for message in failures:

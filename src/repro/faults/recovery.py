@@ -114,17 +114,23 @@ class RecoveryManager:
         """Tear the broken deployment down and rebuild it elsewhere."""
         deployment.pending_recovery = False
         self.controller.discard(deployment)
-        self._replace(deployment.model_key, deployment.plan, now, attempt=0)
+        self._replace(
+            deployment.model_key, deployment.plan, now, attempt=0,
+            tenant=deployment.tenant,
+        )
 
     # -- re-placement --------------------------------------------------------
 
-    def _replace(self, model_key: str, plan, now: float, attempt: int) -> None:
+    def _replace(
+        self, model_key: str, plan, now: float, attempt: int, tenant: str = ""
+    ) -> None:
         controller = self.controller
         if controller._any_plan_could_fit(model_key):
             # Same width first: the checkpoint restores exactly onto it.
             assignment = controller._find_placement(plan)
             if assignment is not None:
-                self._restore(plan, assignment, now, scale_down=False)
+                self._restore(plan, assignment, now, scale_down=False,
+                              tenant=tenant)
                 return
             # Scale-down fallback: any other width from the same mapping
             # database.  A cross-width restore restarts from weights, so
@@ -136,13 +142,25 @@ class RecoveryManager:
                     continue
                 assignment = controller._find_placement(candidate)
                 if assignment is not None:
-                    self._restore(candidate, assignment, now, scale_down=True)
+                    self._restore(candidate, assignment, now, scale_down=True,
+                                  tenant=tenant)
                     return
-        self._schedule_retry(model_key, plan, now, attempt)
+        self._schedule_retry(model_key, plan, now, attempt, tenant=tenant)
 
-    def _restore(self, plan, assignment: list, now: float, scale_down: bool) -> None:
+    def _restore(
+        self, plan, assignment: list, now: float, scale_down: bool,
+        tenant: str = "",
+    ) -> None:
         controller = self.controller
-        deployment, _ = controller._instantiate(plan, assignment, now)
+        # A rebuilt deployment stays charged to its original tenant — a
+        # restore must not silently launder quota attribution through the
+        # (empty) default context.
+        prior = controller.tenant_context
+        controller.tenant_context = tenant
+        try:
+            deployment, _ = controller._instantiate(plan, assignment, now)
+        finally:
+            controller.tenant_context = prior
         cost = self._restore_cost(deployment, from_checkpoint=not scale_down)
         self.restores_started += 1
         PROFILER.incr("faults.restores_started")
@@ -207,7 +225,9 @@ class RecoveryManager:
 
     # -- backoff -------------------------------------------------------------
 
-    def _schedule_retry(self, model_key: str, plan, now: float, attempt: int) -> None:
+    def _schedule_retry(
+        self, model_key: str, plan, now: float, attempt: int, tenant: str = ""
+    ) -> None:
         controller = self.controller
         if attempt >= self.params.max_retries or controller._simulator is None:
             controller.stats.recovery_failures += 1
@@ -232,8 +252,11 @@ class RecoveryManager:
         controller.stats.recovery_backoff_s += delay
         PROFILER.incr("faults.recovery_retries")
 
-        def retry(fire_now, model_key=model_key, plan=plan, attempt=attempt):
-            self._replace(model_key, plan, fire_now, attempt + 1)
+        def retry(
+            fire_now, model_key=model_key, plan=plan, attempt=attempt,
+            tenant=tenant,
+        ):
+            self._replace(model_key, plan, fire_now, attempt + 1, tenant=tenant)
 
         controller._simulator.schedule_external(delay, retry)
 

@@ -122,6 +122,14 @@ class ControllerStats:
     breaker_rejections: int = 0
     #: Idle deployments switched to a narrower plan under brownout.
     brownout_switches: int = 0
+    #: Placement attempts rejected by a tenant quota guard (counted apart
+    #: from ``placement_failures``: a quota rejection is not a capacity
+    #: shortfall, so it must trigger neither preemption nor defrag).
+    quota_rejections: int = 0
+    #: Deployments torn down by priority preemption (tenancy layer).
+    deployments_preempted: int = 0
+    #: Running tasks checkpointed + requeued by preemption.
+    tasks_preempted: int = 0
 
 
 class PlacementIndex:
@@ -351,6 +359,18 @@ class SystemController:
         #: instantiation/discard is reported so resident capacity can be
         #: integrated exactly over time (the autoscale bench's cost metric).
         self.ledger = None
+        #: Tenant on whose behalf the current placement runs (the tenancy
+        #: scheduler sets it around each ``try_start``); new deployments are
+        #: stamped with it.  ``""`` = untenanted, the single-tenant default.
+        self.tenant_context = ""
+        #: Optional quota guard ``callable(plan) -> bool`` consulted before
+        #: any plan is instantiated; a False filters that plan out.  Set
+        #: per-call by the tenancy scheduler, ``None`` otherwise.
+        self.placement_guard = None
+        #: When True, :meth:`find_idle_deployment` only reuses deployments
+        #: owned by the current tenant context — tenants never ride each
+        #: other's resident accelerators, so quota attribution stays exact.
+        self.tenant_isolation = False
 
     # -- public API (what the hypervisor calls) -------------------------------------
 
@@ -379,9 +399,17 @@ class SystemController:
         return list(self._by_model)
 
     def find_idle_deployment(self, model_key: str) -> Deployment | None:
-        """An already-resident idle deployment of this model, if any."""
+        """An already-resident idle deployment of this model, if any.
+
+        With :attr:`tenant_isolation` on, only deployments owned by the
+        current :attr:`tenant_context` qualify — reuse across tenants would
+        let one tenant serve from blocks charged to another's quota.
+        """
+        tenant = self.tenant_context if self.tenant_isolation else None
         for deployment in self._by_model.get(model_key, ()):
-            if deployment.is_idle:
+            if deployment.is_idle and (
+                tenant is None or deployment.tenant == tenant
+            ):
                 return deployment
         return None
 
@@ -416,6 +444,20 @@ class SystemController:
             plans = sorted(plans, key=self.plan_footprint)
         elif self.plan_order is PlanOrder.WIDEST_FIRST:
             plans = list(reversed(plans))
+        if self.placement_guard is not None:
+            allowed = [plan for plan in plans if self.placement_guard(plan)]
+            if not allowed:
+                # Every plan would bust the tenant's quota.  Deliberately
+                # not a placement_failure: quota exhaustion is a policy
+                # outcome, and counting it as capacity would make the
+                # serving retry/preemption machinery fight the quota.
+                self.stats.quota_rejections += 1
+                PROFILER.incr("controller.quota_rejections")
+                raise AllocationError(
+                    f"tenant quota: no plan for {model_key} fits within the "
+                    f"quota of tenant {self.tenant_context!r}"
+                )
+            plans = allowed
         may_evict = waited_s >= self.eviction_patience_s
         while True:
             if self._any_plan_could_fit(model_key):
@@ -458,6 +500,10 @@ class SystemController:
         search.  Returns ``(deployment, reconfig_seconds)`` or ``None``
         when no placement exists — the serving layer's brownout switch and
         probes use this to target an exact width."""
+        if self.placement_guard is not None and not self.placement_guard(plan):
+            self.stats.quota_rejections += 1
+            PROFILER.incr("controller.quota_rejections")
+            return None
         assignment = self._find_placement(plan)
         if assignment is None:
             return None
@@ -803,13 +849,23 @@ class SystemController:
         Victims must be idle past the patience window and belong to a
         different model — hot models keep their copies, over-provisioned
         ones shrink (the rebalancing that keeps mixed streams from
-        thrashing while still adapting to skew).
+        thrashing while still adapting to skew).  Under tenant isolation
+        the same-model exemption only shields the requesting tenant's own
+        copies: another tenant's idle deployment cannot be reused anyway,
+        so leaving it unevictable would wedge same-model cross-tenant
+        traffic on a full cluster.
         """
         victims = [
             d
             for d in self.deployments.values()
             if d.is_idle
-            and d.model_key != requesting_model
+            and (
+                d.model_key != requesting_model
+                or (
+                    self.tenant_isolation
+                    and d.tenant != self.tenant_context
+                )
+            )
             and now - d.last_used_s >= self.eviction_patience_s
         ]
         if not victims:
@@ -847,6 +903,7 @@ class SystemController:
             last_used_s=now,
             created_s=now,
             checkpoint_origin_s=now,
+            tenant=self.tenant_context,
         )
         deployment.service_s = self._service_time(plan, placements)
         self.deployments[deployment_id] = deployment

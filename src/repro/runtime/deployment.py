@@ -67,6 +67,10 @@ class Deployment:
     pending_recovery: bool = False
     #: Completed failure recoveries.
     recoveries: int = 0
+    #: Owning tenant (set from the controller's tenant context at
+    #: instantiation; ``""`` = untenanted).  Quota accounting and the
+    #: preemption victim scan key off this.
+    tenant: str = ""
 
     @property
     def member_fpgas(self) -> list:

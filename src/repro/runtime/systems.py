@@ -126,6 +126,16 @@ class ProposedSystem:
         return view.get(model_key, 0) >= 2
 
     def try_start(self, task: Task, now: float) -> float | None:
+        # Placement attribution: any deployment created while this task
+        # places belongs to its tenant (the controller stamps new
+        # deployments from this context; "" = untenanted, the default).
+        self.controller.tenant_context = task.tenant
+        try:
+            return self._try_start(task, now)
+        finally:
+            self.controller.tenant_context = ""
+
+    def _try_start(self, task: Task, now: float) -> float | None:
         seen = getattr(self, "_seen_models", None)
         if seen is None:
             seen = self._seen_models = {}
@@ -187,6 +197,18 @@ class ProposedSystem:
             self.batch_executor.ensure_executed(task)
         self.controller.release(deployment, now)
 
+    def abort_task(self, task: Task):
+        """Detach a running task from its deployment without releasing it
+        (priority preemption: the deployment is being checkpointed and torn
+        down by the tenancy layer, not returned to idle).  Returns the
+        deployment the task was running on."""
+        deployment = self._running.pop(task.task_id)
+        if self.batch_executor is not None:
+            # Keep the coalescing executor's group state consistent; the
+            # requeued task re-submits on its next start.
+            self.batch_executor.ensure_executed(task)
+        return deployment
+
     # -- defragmentation (migration subsystem; off unless ``defrag=True``) ---------
 
     def _maybe_defrag(self, model_key: str, now: float) -> bool:
@@ -245,10 +267,19 @@ class ProposedSystem:
             return task.arrival_s + patience - 1e-12
         # Eviction was allowed but found no stale victim: wake when the
         # oldest idle foreign deployment crosses the staleness window.
+        # "Foreign" matches the eviction filter: another model, or — under
+        # tenant isolation — another tenant's unreusable same-model copy.
         wakes = [
             d.last_used_s + patience
             for d in controller.deployments.values()
-            if d.is_idle and d.model_key != task.model_key
+            if d.is_idle
+            and (
+                d.model_key != task.model_key
+                or (
+                    controller.tenant_isolation
+                    and d.tenant != task.tenant
+                )
+            )
         ]
         if not wakes:
             return math.inf

@@ -101,6 +101,8 @@ class ServingFrontend:
         self._queued: dict[str, deque] = {}
         #: model key -> live queue depth (PENDING, not condemned).
         self._depth: dict[str, int] = {}
+        #: tenant -> live queue depth (tenancy layer's pressure signal).
+        self._tenant_depth: dict[str, int] = {}
         self._buckets: dict[str, TokenBucket] = {}
         self._breakers = {
             fpga_id: CircuitBreaker(fpga_id, self.params)
@@ -158,6 +160,18 @@ class ServingFrontend:
             return self._depth.get(model_key, 0)
         return sum(self._depth.values())
 
+    def queue_depth_by_tenant(self) -> dict:
+        """Live queued requests per tenant (zero entries elided)."""
+        return {
+            tenant: depth
+            for tenant, depth in sorted(self._tenant_depth.items())
+            if depth > 0
+        }
+
+    def _bump_tenant(self, task: Task, delta: int) -> None:
+        tenant = getattr(task, "tenant", "")
+        self._tenant_depth[tenant] = self._tenant_depth.get(tenant, 0) + delta
+
     def _now(self) -> float:
         if self._simulator is not None:
             return self._simulator.queue.now
@@ -213,6 +227,7 @@ class ServingFrontend:
                 return self._shed_at_door(record)
         self._queued.setdefault(model, deque()).append(record)
         self._depth[model] = self._depth.get(model, 0) + 1
+        self._bump_tenant(task, +1)
         self.stats.admitted += 1
         PROFILER.incr("serving.admitted")
         if self._simulator is not None:
@@ -240,6 +255,7 @@ class ServingFrontend:
                 self.stats.shed += 1
                 self.controller.stats.requests_shed += 1
                 self._depth[model_key] -= 1
+                self._bump_tenant(record.task, -1)
                 PROFILER.incr("serving.shed")
                 return
 
@@ -257,6 +273,7 @@ class ServingFrontend:
             self.stats.expired += 1
             self.controller.stats.requests_expired += 1
             self._depth[task.model_key] -= 1
+            self._bump_tenant(task, -1)
             PROFILER.incr("serving.expired")
         if record.outcome is RequestOutcome.PENDING or record.started:
             return False
@@ -293,6 +310,7 @@ class ServingFrontend:
         # attribution, and let brownout react to the new utilisation.
         record.started = True
         self._depth[task.model_key] -= 1
+        self._bump_tenant(task, -1)
         queue = self._queued.get(task.model_key)
         if queue is not None:
             try:
@@ -324,6 +342,20 @@ class ServingFrontend:
         if self._simulator is not None:
             # Wake the dispatcher when the backoff expires.
             self._simulator.schedule_external(delay, lambda _now: None)
+
+    def requeue(self, task: Task, now: float) -> None:
+        """Return a started request to its queue (tenancy preemption): the
+        start bookkeeping is reversed exactly, so depth accounting and the
+        deadline/drop gates govern the re-run like any queued request."""
+        record = self._records.get(task.task_id)
+        if record is None or not record.started:
+            return
+        record.started = False
+        record.board_ids = []
+        self._queued.setdefault(task.model_key, deque()).append(record)
+        self._depth[task.model_key] = self._depth.get(task.model_key, 0) + 1
+        self._bump_tenant(task, +1)
+        PROFILER.incr("serving.requeued")
 
     # -- Scheduler protocol: completion --------------------------------------
 

@@ -1,0 +1,12 @@
+"""Multi-tenant fairness: quotas, weighted fair-share, priority preemption."""
+
+from .policy import TenancyParameters, TenantParameters
+from .scheduler import TenancyStats, TenantScheduler, TenantState
+
+__all__ = [
+    "TenancyParameters",
+    "TenantParameters",
+    "TenancyStats",
+    "TenantScheduler",
+    "TenantState",
+]

@@ -1,0 +1,95 @@
+"""Tenant identities and tenancy policy knobs.
+
+A :class:`TenantParameters` names one tenant and fixes its contract with
+the cluster: a *priority class* (strict — a higher class is always served
+first), a *weight* (fair-share ratio within one class), resource quotas
+(virtual blocks and replica units concurrently resident), an admission
+bound on queued work, and whether the tenant's deployments may be
+victimised by priority preemption.
+
+:class:`TenancyParameters` configures the scheduler itself — preemption
+on/off, the drain charged before a victim's checkpoint, victim bounds and
+the sweep cooldown that keeps a starved premium tenant from levelling the
+whole cluster in one pass.
+
+Both are frozen dataclasses validated at construction, mirroring
+:class:`~repro.autoscale.policy.AutoscaleParameters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..units import ms, us
+
+
+@dataclass(frozen=True)
+class TenantParameters:
+    """One tenant's identity, guarantees and limits."""
+
+    #: Tenant name; ``""`` is reserved for untenanted (legacy) traffic.
+    name: str
+    #: Strict priority class — dispatch always prefers a higher class, and
+    #: preemption may only take blocks *down* the priority order.
+    priority: int = 0
+    #: Fair-share weight among tenants of the same priority class (start-
+    #: time fair queueing: a tenant at weight 2 accrues virtual time half
+    #: as fast, so it receives twice the share under contention).
+    weight: float = 1.0
+    #: Maximum virtual blocks concurrently resident across the tenant's
+    #: deployments (``None`` = unlimited).  Enforced at the allocation
+    #: point, so it can never be exceeded, only declined.
+    block_quota: int | None = None
+    #: Maximum replica units concurrently resident (``None`` = unlimited).
+    replica_quota: int | None = None
+    #: Maximum tasks queued at once; arrivals beyond it are shed at
+    #: admission (``None`` = unlimited).
+    queue_quota: int | None = None
+    #: Whether a higher-priority tenant may reclaim this tenant's blocks
+    #: via checkpoint + requeue.
+    preemptible: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.name, str):
+            raise ReproError("tenant name must be a string")
+        if self.name != self.name.strip() or "\n" in self.name:
+            raise ReproError(f"malformed tenant name {self.name!r}")
+        if self.weight <= 0:
+            raise ReproError("tenant weight must be positive")
+        if self.block_quota is not None and self.block_quota < 1:
+            raise ReproError("block_quota must be >= 1 (or None)")
+        if self.replica_quota is not None and self.replica_quota < 1:
+            raise ReproError("replica_quota must be >= 1 (or None)")
+        if self.queue_quota is not None and self.queue_quota < 1:
+            raise ReproError("queue_quota must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class TenancyParameters:
+    """Policy knobs for the tenancy scheduler."""
+
+    #: Whether a starved higher-priority tenant may checkpoint + requeue
+    #: lower-priority deployments to reclaim their blocks.
+    preemption_enabled: bool = True
+    #: Drain charged per preempted deployment before its checkpoint is
+    #: taken (run to an instruction boundary, flush queues) — the same
+    #: cost the migration engine charges before a live move.
+    drain_s: float = us(50.0)
+    #: Most deployments one preemption sweep may victimise.
+    max_victims: int = 4
+    #: Minimum spacing between preemption sweeps; within the window a
+    #: starved task simply waits for the in-flight teardowns to land.
+    cooldown_s: float = ms(1.0)
+    #: When True the controller only reuses idle deployments owned by the
+    #: requesting tenant, so block attribution (and therefore quota
+    #: enforcement) is exact.  Off restores cross-tenant reuse.
+    isolation: bool = True
+
+    def __post_init__(self):
+        if self.drain_s < 0:
+            raise ReproError("drain_s must be >= 0")
+        if self.max_victims < 1:
+            raise ReproError("max_victims must be >= 1")
+        if self.cooldown_s < 0:
+            raise ReproError("cooldown_s must be >= 0")

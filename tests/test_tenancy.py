@@ -1,0 +1,629 @@
+"""Multi-tenant fairness layer tests.
+
+Covers tenant/policy parameter validation, the quota guard's
+zero-violation contract (declines at the allocation point, ledger peaks
+never exceed a quota), strict-priority and weighted fair-share dispatch,
+checkpoint + requeue preemption (occupancy never lost, preempted
+best-effort work always completes, resume-credit arithmetic), the
+serving-frontend composition (including the requeue path), and a
+preemption storm on a 64-board pod cluster mirroring
+:mod:`tests.test_pods`.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import ClusterSimulator, Task, scaled_cluster
+from repro.cluster.topology import paper_cluster
+from repro.errors import ReproError
+from repro.runtime import Catalog, build_system
+from repro.serving import ServingFrontend, ServingParameters
+from repro.tenancy import TenancyParameters, TenantParameters, TenantScheduler
+from repro.units import ms
+from repro.vital import VitalCompiler
+from repro.workloads import arrival_process
+
+
+@pytest.fixture(scope="module")
+def shared_catalog():
+    return Catalog(VitalCompiler())
+
+
+def _proposed(cluster, catalog, **kwargs):
+    return build_system("proposed", cluster, catalog, **kwargs)
+
+
+def _stream(tenant, model_keys, count, rate, seed, id_base=0):
+    arrivals = arrival_process("poisson")(count, rate, seed=seed)
+    return [
+        Task(
+            task_id=id_base + index,
+            model_key=model_keys[index % len(model_keys)],
+            arrival_s=arrival_s,
+            size_class="S",
+            tenant=tenant,
+        )
+        for index, arrival_s in enumerate(arrivals)
+    ]
+
+
+class TestParameterValidation:
+    def test_tenant_defaults_valid(self):
+        tenant = TenantParameters(name="acme")
+        assert tenant.priority == 0
+        assert tenant.weight == 1.0
+        assert tenant.block_quota is None
+        assert tenant.preemptible
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": 7},
+            {"name": " padded"},
+            {"name": "two\nlines"},
+            {"name": "t", "weight": 0.0},
+            {"name": "t", "weight": -1.0},
+            {"name": "t", "block_quota": 0},
+            {"name": "t", "replica_quota": 0},
+            {"name": "t", "queue_quota": 0},
+        ],
+    )
+    def test_bad_tenant_parameters_raise(self, kwargs):
+        with pytest.raises(ReproError):
+            TenantParameters(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drain_s": -1e-6},
+            {"max_victims": 0},
+            {"cooldown_s": -1.0},
+        ],
+    )
+    def test_bad_tenancy_parameters_raise(self, kwargs):
+        with pytest.raises(ReproError):
+            TenancyParameters(**kwargs)
+
+    def test_duplicate_tenants_rejected(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        with pytest.raises(ReproError, match="duplicate"):
+            TenantScheduler(
+                system,
+                [TenantParameters(name="a"), TenantParameters(name="a")],
+            )
+
+    def test_non_tenant_parameters_rejected(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        with pytest.raises(ReproError, match="TenantParameters"):
+            TenantScheduler(system, ["acme"])
+
+
+class TestDispatchOrdering:
+    def _scheduler(self, catalog, tenants):
+        system = _proposed(paper_cluster(), catalog)
+        return TenantScheduler(system, tenants)
+
+    def test_priority_dominates_key(self, shared_catalog):
+        scheduler = self._scheduler(
+            shared_catalog,
+            [
+                TenantParameters(name="hi", priority=2),
+                TenantParameters(name="lo", priority=0),
+            ],
+        )
+        # The low-priority tenant arrived earlier and has less virtual
+        # time, yet strict priority still orders the high class first.
+        scheduler.tenant("lo").vtime = 0.0
+        scheduler.tenant("hi").vtime = 99.0
+        late = Task(task_id=1, model_key="m", arrival_s=5.0, tenant="hi")
+        early = Task(task_id=0, model_key="m", arrival_s=0.0, tenant="lo")
+        assert scheduler.dispatch_key(late) < scheduler.dispatch_key(early)
+
+    def test_vtime_breaks_ties_within_class(self, shared_catalog):
+        scheduler = self._scheduler(
+            shared_catalog,
+            [
+                TenantParameters(name="a", weight=2.0),
+                TenantParameters(name="b", weight=1.0),
+            ],
+        )
+        scheduler.tenant("a").vtime = 1.0
+        scheduler.tenant("b").vtime = 2.0
+        task_a = Task(task_id=1, model_key="m", arrival_s=9.0, tenant="a")
+        task_b = Task(task_id=0, model_key="m", arrival_s=0.0, tenant="b")
+        assert scheduler.dispatch_key(task_a) < scheduler.dispatch_key(task_b)
+
+    def test_activation_floor_normalises_idle_vtime(self, shared_catalog):
+        scheduler = self._scheduler(
+            shared_catalog,
+            [TenantParameters(name="a"), TenantParameters(name="b")],
+        )
+        busy = scheduler.tenant("a")
+        busy.vtime = 10.0
+        busy.pending = 1
+        idle = scheduler.tenant("b")
+        idle.vtime = 0.0
+        task = Task(task_id=0, model_key="m", arrival_s=0.0, tenant="b")
+        assert scheduler.admit(task, 0.0)
+        # The returning tenant re-enters at the active minimum, so it
+        # cannot replay its idle period as accumulated credit.
+        assert idle.vtime == 10.0
+
+    def test_weighted_share_under_contention(self, shared_catalog):
+        """Two same-priority tenants with identical saturating streams:
+        the weight-2 tenant's mean latency must beat the weight-1
+        tenant's (it receives twice the share, so it drains faster)."""
+        cluster = paper_cluster()
+        system = _proposed(cluster, shared_catalog)
+        scheduler = TenantScheduler(
+            system,
+            [
+                TenantParameters(name="heavy", weight=2.0),
+                TenantParameters(name="light", weight=1.0),
+            ],
+        )
+        tasks = sorted(
+            _stream("heavy", ["gru-h512-t1"], 40, 4000.0, seed=5)
+            + _stream("light", ["gru-h512-t1"], 40, 4000.0, seed=5,
+                      id_base=1000),
+            key=lambda task: (task.arrival_s, task.task_id),
+        )
+        result = ClusterSimulator(scheduler, "wfq").run(tasks)
+        assert len(result.completed) == 80
+        heavy = scheduler.tenant("heavy")
+        light = scheduler.tenant("light")
+        mean_heavy = sum(heavy.latencies_s) / len(heavy.latencies_s)
+        mean_light = sum(light.latencies_s) / len(light.latencies_s)
+        assert mean_heavy < mean_light
+
+    def test_strict_priority_under_contention(self, shared_catalog):
+        """Identical streams, one tenant a class above: the premium
+        tenant's mean latency must beat the best-effort tenant's."""
+        cluster = paper_cluster()
+        system = _proposed(cluster, shared_catalog)
+        scheduler = TenantScheduler(
+            system,
+            [
+                TenantParameters(name="prem", priority=1),
+                TenantParameters(name="be", priority=0),
+            ],
+        )
+        tasks = sorted(
+            _stream("prem", ["gru-h512-t1"], 40, 4000.0, seed=9)
+            + _stream("be", ["gru-h512-t1"], 40, 4000.0, seed=9,
+                      id_base=1000),
+            key=lambda task: (task.arrival_s, task.task_id),
+        )
+        result = ClusterSimulator(scheduler, "prio").run(tasks)
+        assert len(result.completed) == 80
+        prem = scheduler.tenant("prem")
+        be = scheduler.tenant("be")
+        assert (
+            sum(prem.latencies_s) / len(prem.latencies_s)
+            < sum(be.latencies_s) / len(be.latencies_s)
+        )
+
+
+class TestQuotaEnforcement:
+    def test_guard_declines_over_quota_plan(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(
+            system, [TenantParameters(name="capped", block_quota=4)]
+        )
+        guard = scheduler._guard_for(scheduler.tenant("capped"))
+        entry = system.controller.catalog.entry_by_key("gru-h512-t1")
+        plans = sorted(
+            entry.sorted_plans(), key=system.controller.plan_footprint
+        )
+        small = plans[0]
+        if system.controller.plan_footprint(small) <= 4:
+            assert guard(small)
+        big = plans[-1]
+        if system.controller.plan_footprint(big) > 4:
+            assert not guard(big)
+
+    def test_no_quota_means_no_guard(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(system, [TenantParameters(name="free")])
+        assert scheduler._guard_for(scheduler.tenant("free")) is None
+
+    def test_ledger_peak_never_exceeds_quota(self, shared_catalog):
+        """End to end: a tightly capped tenant under backlog is declined
+        at the allocation point — the ledger's peak resident blocks stay
+        at or under the quota, and the declines are quota rejections,
+        not placement failures."""
+        cluster = paper_cluster()
+        system = _proposed(cluster, shared_catalog)
+        quota = 8
+        scheduler = TenantScheduler(
+            system,
+            [TenantParameters(name="capped", block_quota=quota)],
+        )
+        tasks = _stream("capped", ["gru-h512-t1", "lstm-h256-t150"], 60,
+                        20000.0, seed=3)
+        result = ClusterSimulator(scheduler, "quota").run(tasks)
+        assert len(result.completed) == 60
+        assert scheduler.quota_violations() == {}
+        assert scheduler.ledger.peak_open_blocks.get("capped", 0) <= quota
+        assert system.controller.stats.quota_rejections > 0
+
+    def test_queue_quota_sheds_at_admission(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(
+            system, [TenantParameters(name="q", queue_quota=2)]
+        )
+        tasks = [
+            Task(task_id=i, model_key="gru-h512-t1", arrival_s=0.0,
+                 tenant="q")
+            for i in range(5)
+        ]
+        admitted = [scheduler.admit(task, 0.0) for task in tasks]
+        assert admitted == [True, True, False, False, False]
+        assert scheduler.stats.quota_sheds == 3
+        assert scheduler.tenant("q").shed == 3
+
+    def test_quota_decline_hints_infinite_retry(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(system, [TenantParameters(name="t")])
+        task = Task(task_id=7, model_key="gru-h512-t1", arrival_s=0.0,
+                    tenant="t")
+        scheduler._decline_reason[7] = "quota"
+        assert scheduler.retry_hint(task, 1.0) == math.inf
+        scheduler._decline_reason[7] = "preempt"
+        assert scheduler.retry_hint(task, 1.0) == math.inf
+
+
+def _overload_setup(catalog, board_count=8, pod_size=4, task_count=120,
+                    rate=12800.0, seed=17):
+    """Mixed premium/best-effort overload on a pod-sharded cluster, with
+    the best-effort stream sized to saturate so the premium tenant must
+    preempt its way in.  Returns (scheduler, system, tasks)."""
+    cluster = scaled_cluster(board_count, pod_size=pod_size)
+    system = build_system("proposed", cluster, catalog)
+    total_blocks = sum(len(b.blocks) for b in cluster.boards.values())
+    tenants = [
+        TenantParameters(
+            name="premium", priority=1, weight=2.0,
+            block_quota=max(1, int(total_blocks * 0.3)), preemptible=False,
+        ),
+        TenantParameters(
+            name="besteffort", priority=0, weight=1.0,
+            block_quota=max(1, int(total_blocks * 0.8)), preemptible=True,
+        ),
+    ]
+    scheduler = TenantScheduler(system, tenants, TenancyParameters())
+    premium_count = task_count // 4
+    tasks = sorted(
+        _stream("premium", ["gru-h512-t1"], premium_count, rate * 0.25,
+                seed=seed)
+        + _stream(
+            "besteffort", ["lstm-h256-t150", "lstm-h512-t25"],
+            task_count - premium_count, rate * 0.75, seed=seed + 1,
+            id_base=10_000,
+        ),
+        key=lambda task: (task.arrival_s, task.task_id),
+    )
+    return scheduler, system, tasks
+
+
+class TestPreemption:
+    def test_checkpoint_requeue_never_loses_occupancy(self, shared_catalog):
+        """After an overload run with real preemption sweeps, every
+        board's free-block count equals a from-scratch recount, the
+        placement and residency indexes are consistent, and the ledger
+        holds no still-open intervals once the queues drain."""
+        scheduler, system, tasks = _overload_setup(shared_catalog)
+        result = ClusterSimulator(scheduler, "preempt").run(tasks)
+        assert scheduler.stats.preemption_sweeps > 0
+        assert len(result.completed) == len(tasks)
+        controller = system.controller
+        assert controller.index.check_consistent()
+        assert controller.check_residents_consistent()
+        for board in system.cluster.boards.values():
+            assert board.free_blocks == board.recount_free_blocks()
+
+    def test_preempted_best_effort_tasks_complete(self, shared_catalog):
+        """Checkpoint + requeue loses the round trip, never the work:
+        every distinct preempted task runs to completion."""
+        scheduler, _, tasks = _overload_setup(shared_catalog)
+        result = ClusterSimulator(scheduler, "recover").run(tasks)
+        stats = scheduler.stats
+        assert stats.tasks_preempted > 0
+        assert stats.preempted_completed == stats.preempted_distinct
+        assert len(result.completed) == len(tasks)
+        assert scheduler.tenant("besteffort").preempted > 0
+        # Checkpoint and restore streams were actually charged.
+        assert stats.checkpoint_s > 0.0
+        assert stats.restore_s > 0.0
+
+    def test_quota_violations_empty_under_preemption(self, shared_catalog):
+        scheduler, _, tasks = _overload_setup(shared_catalog)
+        ClusterSimulator(scheduler, "violations").run(tasks)
+        assert scheduler.quota_violations() == {}
+
+    def test_preemption_disabled_means_no_sweeps(self, shared_catalog):
+        scheduler, _, tasks = _overload_setup(shared_catalog)
+        scheduler.params = TenancyParameters(preemption_enabled=False)
+        result = ClusterSimulator(scheduler, "disabled").run(tasks)
+        assert scheduler.stats.preemption_sweeps == 0
+        assert scheduler.stats.tasks_preempted == 0
+        assert len(result.completed) == len(tasks)
+
+    def test_non_preemptible_tenant_is_never_victimised(self, shared_catalog):
+        """Flip the bench roles: the low-priority tenant is
+        non-preemptible, so the starved premium tenant finds no victims
+        and simply waits."""
+        cluster = scaled_cluster(8, pod_size=4)
+        system = build_system("proposed", cluster, shared_catalog)
+        scheduler = TenantScheduler(
+            system,
+            [
+                TenantParameters(name="premium", priority=1,
+                                 preemptible=False),
+                TenantParameters(name="besteffort", priority=0,
+                                 preemptible=False),
+            ],
+        )
+        _, _, tasks = _overload_setup(shared_catalog)
+        result = ClusterSimulator(scheduler, "novictims").run(tasks)
+        assert scheduler.stats.deployments_preempted == 0
+        assert scheduler.tenant("besteffort").preempted == 0
+        assert len(result.completed) == len(tasks)
+
+    def test_resume_credit_charges_restore_plus_remaining(
+        self, shared_catalog
+    ):
+        """A preempted task's restart on a warm deployment is charged
+        exactly the checkpoint-restore stream plus its remaining
+        service — not a full rerun."""
+        cluster = paper_cluster()
+        system = _proposed(cluster, shared_catalog)
+        scheduler = TenantScheduler(system, [TenantParameters(name="t")])
+        first = Task(task_id=0, model_key="gru-h512-t1", arrival_s=0.0,
+                     tenant="t")
+        scheduler.admit(first, 0.0)
+        service = scheduler.try_start(first, 0.0)
+        assert service is not None
+        scheduler.on_finish(first, service)
+        # A warm idle deployment now exists: a fresh start pays only the
+        # model's service time.
+        second = Task(task_id=1, model_key="gru-h512-t1", arrival_s=0.0,
+                      tenant="t")
+        scheduler.admit(second, 0.0)
+        remaining, restore = 0.5, 0.125
+        scheduler._resume_credit[1] = (remaining, restore)
+        scheduler._preempted_ever.add(1)
+        charged = scheduler.try_start(second, 0.0)
+        assert charged == pytest.approx(remaining + restore)
+        assert scheduler.stats.restore_s == pytest.approx(restore)
+
+    def test_checkpoint_cost_uses_state_size_over_host_link(
+        self, shared_catalog
+    ):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(system, [TenantParameters(name="t")])
+        deployment, _ = system.controller.deploy("gru-h512-t1")
+        teardown_s, restore_s = scheduler._checkpoint_cost(deployment)
+        engine = system.controller.migration
+        state_bytes = sum(
+            engine.state_bytes(deployment, i)
+            for i in range(len(deployment.placements))
+        )
+        link = system.cluster.host_link
+        stream = link.latency_s + state_bytes * 8.0 / link.bandwidth_bps
+        assert restore_s == pytest.approx(stream)
+        assert teardown_s == pytest.approx(scheduler.params.drain_s + stream)
+
+    def test_cooldown_spaces_sweeps(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(
+            system,
+            [TenantParameters(name="hi", priority=1)],
+            TenancyParameters(cooldown_s=ms(5.0)),
+        )
+        scheduler._preempt_gate_s = 1.0
+        task = Task(task_id=0, model_key="gru-h512-t1", arrival_s=0.0,
+                    tenant="hi")
+        state = scheduler.tenant("hi")
+        # Inside the cooldown window no sweep may start, whatever the
+        # cluster looks like.
+        assert not scheduler._maybe_preempt(task, state, 0.9999)
+
+
+class TestFrontendComposition:
+    def _frontend_stack(self, catalog, tenants, board_count=8):
+        cluster = scaled_cluster(board_count, pod_size=4)
+        system = build_system("proposed", cluster, catalog)
+        frontend = ServingFrontend(
+            system,
+            ServingParameters(
+                max_queue_depth=64,
+                default_deadline_s=5.0,
+                breaker_enabled=False,
+            ),
+        )
+        scheduler = TenantScheduler(frontend, tenants)
+        return scheduler, frontend, system
+
+    def test_layer_exposes_wrapped_system(self, shared_catalog):
+        scheduler, frontend, system = self._frontend_stack(
+            shared_catalog, [TenantParameters(name="t")]
+        )
+        assert scheduler.inner is frontend
+        assert scheduler.system is system
+        assert scheduler.controller is system.controller
+
+    def test_requeue_restores_queue_and_tenant_depth(self, shared_catalog):
+        scheduler, frontend, _ = self._frontend_stack(
+            shared_catalog, [TenantParameters(name="t")]
+        )
+        task = Task(task_id=0, model_key="gru-h512-t1", arrival_s=0.0,
+                    tenant="t")
+        assert scheduler.admit(task, 0.0)
+        assert frontend.queue_depth_by_tenant() == {"t": 1}
+        service = frontend.try_start(task, 0.0)
+        assert service is not None
+        assert frontend.queue_depth_by_tenant() == {}
+        frontend.requeue(task, 0.0)
+        assert frontend.queue_depth_by_tenant() == {"t": 1}
+        record = frontend._records[0]
+        assert not record.started
+        assert record.board_ids == []
+
+    def test_requeue_without_record_is_a_noop(self, shared_catalog):
+        _, frontend, _ = self._frontend_stack(
+            shared_catalog, [TenantParameters(name="t")]
+        )
+        stranger = Task(task_id=99, model_key="gru-h512-t1", arrival_s=0.0)
+        frontend.requeue(stranger, 0.0)
+        assert frontend.queue_depth_by_tenant() == {}
+
+    def test_overload_run_through_frontend(self, shared_catalog):
+        """The full stack — TenantScheduler over ServingFrontend over the
+        system — survives a mixed overload run with preemption, and the
+        frontend's accounting covers every admitted request."""
+        scheduler, frontend, system = self._frontend_stack(
+            shared_catalog,
+            [
+                TenantParameters(name="premium", priority=1, weight=2.0,
+                                 preemptible=False),
+                TenantParameters(name="besteffort", priority=0,
+                                 preemptible=True),
+            ],
+        )
+        tasks = sorted(
+            _stream("premium", ["gru-h512-t1"], 30, 3200.0, seed=21)
+            + _stream(
+                "besteffort", ["lstm-h256-t150", "lstm-h512-t25"], 90,
+                9600.0, seed=22, id_base=10_000,
+            ),
+            key=lambda task: (task.arrival_s, task.task_id),
+        )
+        result = ClusterSimulator(scheduler, "stack").run(tasks)
+        stats = frontend.stats
+        assert stats.admitted == stats.offered - stats.shed
+        assert (
+            stats.completed + stats.expired + stats.abandoned
+            <= stats.admitted
+        )
+        assert len(result.completed) == stats.completed
+        controller = system.controller
+        assert controller.index.check_consistent()
+        assert controller.check_residents_consistent()
+        for board in system.cluster.boards.values():
+            assert board.free_blocks == board.recount_free_blocks()
+
+
+class TestLedgerTenantAxis:
+    def test_peaks_and_open_usage_per_tenant(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(
+            system,
+            [TenantParameters(name="a"), TenantParameters(name="b")],
+        )
+        ledger = scheduler.ledger
+        controller = system.controller
+        controller.tenant_context = "a"
+        try:
+            first, _ = controller.deploy("gru-h512-t1")
+        finally:
+            controller.tenant_context = ""
+        # The ledger books the plan's nominal footprint (what the quota
+        # guard charges), not the per-device placement blocks.
+        blocks_a = controller.plan_footprint(first.plan)
+        assert ledger.open_blocks("a") == blocks_a
+        assert ledger.open_blocks("b") == 0
+        assert ledger.peak_open_blocks["a"] == blocks_a
+        controller.discard(first)
+        assert ledger.open_blocks("a") == 0
+        # The peak survives the discard: it is the quota audit trail.
+        assert ledger.peak_open_blocks["a"] == blocks_a
+
+    def test_report_reads_ledger_peaks(self, shared_catalog):
+        system = _proposed(paper_cluster(), shared_catalog)
+        scheduler = TenantScheduler(
+            system, [TenantParameters(name="a", block_quota=50)]
+        )
+        controller = system.controller
+        controller.tenant_context = "a"
+        try:
+            controller.deploy("gru-h512-t1")
+        finally:
+            controller.tenant_context = ""
+        report = scheduler.tenant_report()
+        assert report["a"]["peak_open_blocks"] == (
+            scheduler.ledger.peak_open_blocks["a"]
+        )
+        assert scheduler.quota_violations() == {}
+
+
+class TestPreemptionStorm:
+    """Chaos: three tenant classes hammering a 64-board pod cluster at
+    sustained overload, driving repeated preemption sweeps — mirrors the
+    pod chaos storm in :mod:`tests.test_pods` with preemption as the
+    churn source instead of board failures."""
+
+    def _storm(self, catalog, board_count, pod_size, task_count, rate,
+               seed):
+        cluster = scaled_cluster(board_count, pod_size=pod_size)
+        system = build_system("proposed", cluster, catalog)
+        total_blocks = sum(
+            len(board.blocks) for board in cluster.boards.values()
+        )
+        tenants = [
+            TenantParameters(name="gold", priority=2, weight=4.0,
+                             preemptible=False,
+                             block_quota=max(1, total_blocks // 2)),
+            TenantParameters(name="silver", priority=1, weight=2.0,
+                             preemptible=True,
+                             block_quota=max(1, total_blocks * 3 // 4)),
+            TenantParameters(name="scavenger", priority=0, weight=1.0,
+                             preemptible=True,
+                             block_quota=max(1, total_blocks * 9 // 10)),
+        ]
+        scheduler = TenantScheduler(
+            system, tenants, TenancyParameters(max_victims=6)
+        )
+        per_tenant = task_count // 3
+        models = {
+            "gold": ["gru-h512-t1"],
+            "silver": ["lstm-h512-t25"],
+            "scavenger": ["lstm-h256-t150", "lstm-h512-t25"],
+        }
+        tasks = sorted(
+            (
+                task
+                for offset, name in enumerate(sorted(models))
+                for task in _stream(
+                    name, models[name], per_tenant, rate / 3.0,
+                    seed=seed + offset, id_base=offset * 100_000,
+                )
+            ),
+            key=lambda task: (task.arrival_s, task.task_id),
+        )
+        result = ClusterSimulator(scheduler, "storm").run(tasks)
+        return cluster, system, scheduler, tasks, result
+
+    def test_storm_keeps_cluster_consistent(self, shared_catalog):
+        cluster, system, scheduler, tasks, result = self._storm(
+            shared_catalog, board_count=64, pod_size=8, task_count=240,
+            rate=60000.0, seed=41,
+        )
+        controller = system.controller
+        assert controller.index.pod_count() == 8
+        assert scheduler.stats.preemption_sweeps > 0
+        # Nothing lost, nothing leaked: all work completes, every index
+        # and per-board count matches a from-scratch recount, quotas
+        # were never pierced, and every preempted task recovered.
+        assert len(result.completed) == len(tasks)
+        assert controller.index.check_consistent()
+        assert controller.check_residents_consistent()
+        for board in cluster.boards.values():
+            assert board.free_blocks == board.recount_free_blocks()
+        assert scheduler.quota_violations() == {}
+        stats = scheduler.stats
+        assert stats.preempted_completed == stats.preempted_distinct
+        assert not scheduler._preempt_pending or all(
+            count == 0 for count in scheduler._preempt_pending.values()
+        )
